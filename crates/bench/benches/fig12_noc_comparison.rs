@@ -1,0 +1,24 @@
+//! Figure 12: LOCO's memory latency (L2 hit latency and global search
+//! delay) under SMART, conventional and high-radix NoCs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loco::{ExperimentParams, Runner};
+use loco_bench::{benchmarks_for, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_noc_comparison");
+    group.sample_size(10);
+    group.bench_function("quick_scale", |b| {
+        b.iter(|| {
+            let mut runner = Runner::new(ExperimentParams::quick());
+            let benches = benchmarks_for(Scale::Quick);
+            let lat = runner.fig12_l2_latency(&benches);
+            let search = runner.fig12_search_delay(&benches);
+            (lat, search)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

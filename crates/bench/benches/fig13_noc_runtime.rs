@@ -1,0 +1,20 @@
+//! Figure 13: LOCO run time under SMART, conventional and high-radix NoCs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loco::{ExperimentParams, Runner};
+use loco_bench::{benchmarks_for, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_noc_runtime");
+    group.sample_size(10);
+    group.bench_function("quick_scale", |b| {
+        b.iter(|| {
+            let mut runner = Runner::new(ExperimentParams::quick());
+            runner.fig13_noc_runtime(&benchmarks_for(Scale::Quick))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

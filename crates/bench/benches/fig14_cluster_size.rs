@@ -1,0 +1,27 @@
+//! Figure 14: LOCO with different cluster sizes and topologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loco::{ClusterShape, ExperimentParams, Runner};
+use loco_bench::{benchmarks_for, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_cluster_size");
+    group.sample_size(10);
+    group.bench_function("quick_scale", |b| {
+        b.iter(|| {
+            let mut runner = Runner::new(ExperimentParams::quick());
+            let shapes = [
+                ClusterShape::new(2, 1),
+                ClusterShape::new(4, 1),
+                ClusterShape::new(2, 2),
+            ];
+            let figs = runner.fig14_cluster_size(&benchmarks_for(Scale::Quick), &shapes);
+            assert_eq!(figs.len(), 4);
+            figs
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 15: multi-program consolidation workloads of Table 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loco::{ExperimentParams, Runner};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_multiprogram");
+    group.sample_size(10);
+    group.bench_function("quick_scale_w0", |b| {
+        b.iter(|| {
+            let mut runner = Runner::new(ExperimentParams::quick());
+            runner.fig15_multiprogram(&[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 16: full-system (synchronization-aware) simulation of LOCO.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loco::{ExperimentParams, Runner};
+use loco_bench::{fullsystem_benchmarks_for, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_fullsystem");
+    group.sample_size(10);
+    group.bench_function("quick_scale", |b| {
+        b.iter(|| {
+            let mut runner = Runner::new(ExperimentParams::quick());
+            let benches = fullsystem_benchmarks_for(Scale::Quick);
+            let mpki = runner.fig16_mpki(&benches);
+            let runtime = runner.fig16_runtime(&benches);
+            (mpki, runtime)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! NoC micro-benchmarks: zero-load latency and broadcast completion time of
+//! the three router micro-architectures (the raw numbers behind Section 2's
+//! "8 cycles vs 28 cycles corner-to-corner" argument).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loco_noc::{NetMessage, Network, NocConfig, NodeId, VirtualNetwork};
+
+fn corner_to_corner(cfg: NocConfig) -> u64 {
+    let mut net: Network<()> = Network::new(cfg);
+    let last = NodeId((cfg.mesh.len() - 1) as u16);
+    net.inject(NetMessage::unicast(NodeId(0), last, VirtualNetwork::Request, 8, ()))
+        .expect("inject");
+    loop {
+        net.tick();
+        let out = net.eject(last);
+        if let Some(d) = out.first() {
+            return d.latency;
+        }
+        assert!(net.cycle() < 10_000, "message never arrived");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_corner_to_corner");
+    for (label, cfg) in [
+        ("smart_8x8", NocConfig::smart_mesh(8, 8, 4)),
+        ("conventional_8x8", NocConfig::conventional_mesh(8, 8)),
+        ("highradix_8x8", NocConfig::highradix_mesh(8, 8, 4)),
+        ("smart_16x16", NocConfig::smart_mesh(16, 16, 4)),
+        ("conventional_16x16", NocConfig::conventional_mesh(16, 16)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| corner_to_corner(*cfg))
+        });
+    }
+    group.finish();
+
+    // Sanity check once per run: the latency relationships of Section 2.
+    let smart = corner_to_corner(NocConfig::smart_mesh(8, 8, 4));
+    let conv = corner_to_corner(NocConfig::conventional_mesh(8, 8));
+    assert!(smart * 2 <= conv, "SMART {smart} vs conventional {conv}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

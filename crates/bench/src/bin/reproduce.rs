@@ -1,0 +1,157 @@
+//! Regenerates every table and figure of the LOCO ASPLOS 2014 evaluation.
+//!
+//! ```text
+//! cargo run --release -p loco-bench --bin reproduce -- [--scale quick|64|256]
+//!     [--fig 6|7|8|9|10|11|12|13|14|15|16|all] [--mem-ops N] [--json DIR]
+//! ```
+//!
+//! Output is a text table per figure (series labels match the paper's
+//! legends); `--json DIR` additionally dumps each figure as JSON so
+//! EXPERIMENTS.md can be refreshed mechanically.
+
+use loco::{ClusterShape, Figure, Runner};
+use loco_bench::{benchmarks_for, fullsystem_benchmarks_for, Scale};
+use std::io::Write;
+use std::time::Instant;
+
+struct Options {
+    scale: Scale,
+    figures: Vec<u32>,
+    mem_ops: Option<u64>,
+    json_dir: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        scale: Scale::Cores64,
+        figures: (6..=16).collect(),
+        mem_ops: None,
+        json_dir: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = Scale::parse(&args[i]).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{}', expected quick|64|256", args[i]);
+                    std::process::exit(2);
+                });
+            }
+            "--fig" => {
+                i += 1;
+                if args[i] == "all" {
+                    opts.figures = (6..=16).collect();
+                } else {
+                    opts.figures = args[i]
+                        .split(',')
+                        .map(|f| {
+                            f.parse().unwrap_or_else(|_| {
+                                eprintln!("unknown figure '{f}'");
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect();
+                }
+            }
+            "--mem-ops" => {
+                i += 1;
+                opts.mem_ops = Some(args[i].parse().expect("--mem-ops takes a number"));
+            }
+            "--json" => {
+                i += 1;
+                opts.json_dir = Some(args[i].clone());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [--scale quick|64|256] [--fig N|all] [--mem-ops N] [--json DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn emit(fig: &Figure, json_dir: &Option<String>) {
+    println!("{fig}");
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(dir).expect("create json output dir");
+        let path = format!("{dir}/{}.json", fig.id);
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        f.write_all(fig.to_json().as_bytes()).expect("write json");
+        println!("  (wrote {path})\n");
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut params = opts.scale.params();
+    if let Some(m) = opts.mem_ops {
+        params = params.with_mem_ops(m);
+    }
+    let benchmarks = benchmarks_for(opts.scale);
+    let fs_benchmarks = fullsystem_benchmarks_for(opts.scale);
+    println!(
+        "LOCO reproduction — scale {} ({} cores, {} memory ops/core)\n",
+        opts.scale.label(),
+        params.num_cores(),
+        params.mem_ops_per_core
+    );
+    let mut runner = Runner::new(params);
+    let start = Instant::now();
+
+    for fig_no in &opts.figures {
+        let t = Instant::now();
+        match fig_no {
+            6 => emit(&runner.fig06_private_vs_shared(&benchmarks), &opts.json_dir),
+            7 => emit(&runner.fig07_l2_hit_latency(&benchmarks), &opts.json_dir),
+            8 => emit(&runner.fig08_mpki(&benchmarks), &opts.json_dir),
+            9 => emit(&runner.fig09_search_delay(&benchmarks), &opts.json_dir),
+            10 => emit(&runner.fig10_offchip(&benchmarks), &opts.json_dir),
+            11 => emit(&runner.fig11_runtime(&benchmarks), &opts.json_dir),
+            12 => {
+                emit(&runner.fig12_l2_latency(&benchmarks), &opts.json_dir);
+                emit(&runner.fig12_search_delay(&benchmarks), &opts.json_dir);
+            }
+            13 => emit(&runner.fig13_noc_runtime(&benchmarks), &opts.json_dir),
+            14 => {
+                let shapes = if params.num_cores() < 64 {
+                    vec![ClusterShape::new(2, 1), ClusterShape::new(4, 1), ClusterShape::new(2, 2)]
+                } else {
+                    vec![ClusterShape::new(4, 1), ClusterShape::new(8, 1), ClusterShape::new(4, 4)]
+                };
+                for fig in runner.fig14_cluster_size(&benchmarks, &shapes) {
+                    emit(&fig, &opts.json_dir);
+                }
+            }
+            15 => {
+                let workloads: Vec<usize> = if params.num_cores() < 64 {
+                    vec![0, 5]
+                } else {
+                    (0..10).collect()
+                };
+                let (off, run) = runner.fig15_multiprogram(&workloads);
+                emit(&off, &opts.json_dir);
+                emit(&run, &opts.json_dir);
+            }
+            16 => {
+                emit(&runner.fig16_mpki(&fs_benchmarks), &opts.json_dir);
+                emit(&runner.fig16_runtime(&fs_benchmarks), &opts.json_dir);
+            }
+            other => eprintln!("figure {other} is not part of the paper's evaluation"),
+        }
+        eprintln!("[figure {fig_no}: {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    eprintln!(
+        "\ntotal: {:.1}s, {} simulations",
+        start.elapsed().as_secs_f64(),
+        runner.simulations_run()
+    );
+}

@@ -1,0 +1,105 @@
+//! # loco-bench — benchmark harness for the LOCO reproduction
+//!
+//! Two entry points:
+//!
+//! * the `reproduce` binary regenerates every table and figure of the
+//!   paper's evaluation (`cargo run --release -p loco-bench --bin reproduce
+//!   -- --help`),
+//! * the Criterion benches under `benches/` time a reduced version of each
+//!   figure's simulation campaign so that `cargo bench` exercises every
+//!   experiment end to end.
+//!
+//! The library part only hosts shared helpers for those two front-ends.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use loco::{Benchmark, ExperimentParams};
+
+/// Which experiment scale a harness invocation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 16-core smoke scale (seconds).
+    Quick,
+    /// The paper's 64-core CMP.
+    Cores64,
+    /// The paper's 256-core CMP.
+    Cores256,
+}
+
+impl Scale {
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "64" => Some(Scale::Cores64),
+            "256" => Some(Scale::Cores256),
+            _ => None,
+        }
+    }
+
+    /// The experiment parameters for this scale.
+    pub fn params(self) -> ExperimentParams {
+        match self {
+            Scale::Quick => ExperimentParams::quick(),
+            Scale::Cores64 => ExperimentParams::paper_64(),
+            Scale::Cores256 => ExperimentParams::paper_256(),
+        }
+    }
+
+    /// Scale label used in output paths.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Cores64 => "64",
+            Scale::Cores256 => "256",
+        }
+    }
+}
+
+/// The benchmark list used by a scale (the full 8-benchmark suite for the
+/// paper scales, a 3-benchmark subset for the quick scale).
+pub fn benchmarks_for(scale: Scale) -> Vec<Benchmark> {
+    match scale {
+        Scale::Quick => vec![Benchmark::Lu, Benchmark::Blackscholes, Benchmark::Barnes],
+        _ => Benchmark::TRACE_DRIVEN.to_vec(),
+    }
+}
+
+/// The benchmark list for the full-system figure.
+pub fn fullsystem_benchmarks_for(scale: Scale) -> Vec<Benchmark> {
+    match scale {
+        Scale::Quick => vec![Benchmark::Lu, Benchmark::Fft],
+        _ => Benchmark::FULL_SYSTEM.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("64"), Some(Scale::Cores64));
+        assert_eq!(Scale::parse("256"), Some(Scale::Cores256));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn scales_map_to_params() {
+        assert_eq!(Scale::Quick.params().num_cores(), 16);
+        assert_eq!(Scale::Cores64.params().num_cores(), 64);
+        assert_eq!(Scale::Cores256.params().num_cores(), 256);
+    }
+
+    #[test]
+    fn benchmark_lists_are_nonempty() {
+        for s in [Scale::Quick, Scale::Cores64, Scale::Cores256] {
+            assert!(!benchmarks_for(s).is_empty());
+            assert!(!fullsystem_benchmarks_for(s).is_empty());
+        }
+        assert_eq!(benchmarks_for(Scale::Cores64).len(), 8);
+        assert_eq!(fullsystem_benchmarks_for(Scale::Cores64).len(), 11);
+    }
+}

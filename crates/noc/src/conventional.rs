@@ -1,0 +1,295 @@
+//! Conventional mesh fabric: state-of-the-art 2-cycle-per-hop routers
+//! (1 cycle switch allocation + traversal inside the router, 1 cycle on the
+//! link), XY dimension-ordered routing, per-output round-robin arbitration
+//! and credit-style backpressure.
+//!
+//! This is the `LOCO + Conventional NoC` baseline of Figures 12 and 13 and
+//! the hop-by-hop reference against which SMART's single-cycle multi-hop
+//! traversals are compared (Section 2 of the paper: 14 hops take 28 cycles
+//! in the best case on this fabric).
+
+use crate::config::NocConfig;
+use crate::message::VirtualNetwork;
+use crate::router::{
+    dir_link, Arrival, Buffered, FabricEngine, FlightInfo, InputBuffers, LinkOccupancy, RoundRobin,
+};
+use crate::topology::{Direction, Mesh, NodeId};
+
+const PORTS: usize = 5;
+
+/// The conventional-router fabric engine.
+#[derive(Debug)]
+pub struct ConventionalFabric {
+    cfg: NocConfig,
+    mesh: Mesh,
+    buffers: Vec<InputBuffers>,
+    arbiters: Vec<RoundRobin>,
+    links: LinkOccupancy,
+    in_flight: usize,
+    buffer_writes: u64,
+}
+
+impl ConventionalFabric {
+    /// Builds the fabric for the given configuration.
+    pub fn new(cfg: NocConfig) -> Self {
+        let mesh = cfg.mesh;
+        let nodes = mesh.len();
+        ConventionalFabric {
+            cfg,
+            mesh,
+            buffers: (0..nodes)
+                .map(|_| InputBuffers::new(PORTS, cfg.vn_buffer_capacity()))
+                .collect(),
+            arbiters: (0..nodes * PORTS).map(|_| RoundRobin::new()).collect(),
+            links: LinkOccupancy::new(nodes, PORTS),
+            in_flight: 0,
+            buffer_writes: 0,
+        }
+    }
+
+    fn output_for(&self, at: NodeId, flight: &FlightInfo) -> Option<Direction> {
+        self.mesh.xy_next_dir(at, flight.dest)
+    }
+}
+
+impl FabricEngine for ConventionalFabric {
+    fn can_accept(&self, node: NodeId, vn: VirtualNetwork) -> bool {
+        self.buffers[node.index()].has_space(Direction::Local.index(), vn)
+    }
+
+    fn inject(&mut self, flight: FlightInfo, now: u64) {
+        self.buffers[flight.src.index()].push(
+            Direction::Local.index(),
+            flight.vn,
+            Buffered {
+                flight,
+                ready_at: now + 1,
+            },
+        );
+        self.in_flight += 1;
+        self.buffer_writes += 1;
+    }
+
+    fn tick(&mut self, now: u64, arrivals: &mut Vec<Arrival>) {
+        // Switch allocation: for every router and output direction, pick one
+        // ready head packet among the input lanes requesting that output,
+        // check link and downstream buffer availability, then move it.
+        //
+        // Moves are computed first and applied afterwards so that a packet
+        // moved this cycle cannot be moved again within the same cycle.
+        struct Move {
+            node: NodeId,
+            port: usize,
+            vn: VirtualNetwork,
+            out: Direction,
+            next: NodeId,
+        }
+        let mut moves: Vec<Move> = Vec::new();
+        // Downstream space reserved this cycle: (node, port, vn) -> count.
+        let mut reserved: Vec<u8> =
+            vec![0; self.mesh.len() * PORTS * VirtualNetwork::ALL.len()];
+        let reserve_idx = |node: NodeId, port: usize, vn: VirtualNetwork| {
+            (node.index() * PORTS + port) * VirtualNetwork::ALL.len() + vn.index()
+        };
+
+        for node in self.mesh.nodes() {
+            if self.buffers[node.index()].is_empty() {
+                continue;
+            }
+            for out in Direction::CARDINAL {
+                if !self.links.is_free(node, dir_link(out), now) {
+                    continue;
+                }
+                let Some(next) = self.mesh.neighbor(node, out) else {
+                    continue;
+                };
+                // Gather candidate lanes whose head is ready and requests `out`.
+                let bufs = &self.buffers[node.index()];
+                let mut candidates: Vec<usize> = Vec::new();
+                let mut lane_of: Vec<(usize, VirtualNetwork)> = Vec::new();
+                for (lane_idx, (port, vn)) in bufs.lanes().enumerate() {
+                    if let Some(head) = bufs.head(port, vn) {
+                        if head.ready_at <= now
+                            && self.output_for(node, &head.flight) == Some(out)
+                        {
+                            // Check downstream buffer space at the opposite
+                            // input port of the neighbour, including space
+                            // already reserved this cycle.
+                            let dport = out.opposite().index();
+                            let occ = self.buffers[next.index()].occupancy(dport, vn)
+                                + reserved[reserve_idx(next, dport, vn)] as usize;
+                            if occ < self.cfg.vn_buffer_capacity() {
+                                candidates.push(lane_idx);
+                                lane_of.push((port, vn));
+                            }
+                        }
+                    }
+                    let _ = lane_idx;
+                }
+                if candidates.is_empty() {
+                    continue;
+                }
+                let arb = &mut self.arbiters[node.index() * PORTS + dir_link(out)];
+                let total_lanes = PORTS * VirtualNetwork::ALL.len();
+                if let Some(winner) = arb.pick(&candidates, total_lanes) {
+                    let pos = candidates.iter().position(|&c| c == winner).expect("winner in list");
+                    let (port, vn) = lane_of[pos];
+                    let dport = out.opposite().index();
+                    reserved[reserve_idx(next, dport, vn)] += 1;
+                    moves.push(Move {
+                        node,
+                        port,
+                        vn,
+                        out,
+                        next,
+                    });
+                }
+            }
+        }
+
+        for mv in moves {
+            let buffered = self.buffers[mv.node.index()]
+                .pop(mv.port, mv.vn)
+                .expect("winner packet present");
+            let flight = buffered.flight;
+            let flits = flight.flits as u64;
+            // The output link is held for the full packet length.
+            self.links
+                .occupy(mv.node, dir_link(mv.out), now + flits);
+            // 1 cycle in the router (already spent winning SA this cycle) +
+            // 1 cycle link traversal + serialization of the tail flits.
+            let arrival_cycle = now + 1 + (flits - 1);
+            if mv.next == flight.dest {
+                let mut f = flight;
+                f.stops += 1;
+                self.in_flight -= 1;
+                arrivals.push(Arrival {
+                    flight: f,
+                    at: mv.next,
+                    now: arrival_cycle + 1,
+                });
+            } else {
+                let mut f = flight;
+                f.stops += 1;
+                self.buffer_writes += 1;
+                self.buffers[mv.next.index()].push(
+                    mv.out.opposite().index(),
+                    mv.vn,
+                    Buffered {
+                        flight: f,
+                        ready_at: arrival_cycle + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    fn buffer_writes(&self) -> u64 {
+        self.buffer_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::PacketId;
+
+    fn flight(id: u64, src: u16, dest: u16, flits: u32, injected: u64) -> FlightInfo {
+        FlightInfo {
+            id: PacketId(id),
+            src: NodeId(src),
+            dest: NodeId(dest),
+            vn: VirtualNetwork::Request,
+            flits,
+            injected_at: injected,
+            stops: 0,
+        }
+    }
+
+    fn run_until_arrival(fab: &mut ConventionalFabric, start: u64, limit: u64) -> Vec<Arrival> {
+        let mut arrivals = Vec::new();
+        let mut now = start;
+        while arrivals.is_empty() && now < start + limit {
+            fab.tick(now, &mut arrivals);
+            now += 1;
+        }
+        arrivals
+    }
+
+    #[test]
+    fn two_cycles_per_hop_best_case() {
+        let cfg = NocConfig::conventional_mesh(8, 8);
+        let mut fab = ConventionalFabric::new(cfg);
+        // 0 -> 7 is 7 hops along the bottom row.
+        fab.inject(flight(1, 0, 7, 1, 0), 0);
+        let arr = run_until_arrival(&mut fab, 0, 100);
+        assert_eq!(arr.len(), 1);
+        // ~2 cycles per hop plus injection overhead.
+        let latency = arr[0].now - arr[0].flight.injected_at;
+        assert!(latency >= 14, "latency {latency} too small");
+        assert!(latency <= 17, "latency {latency} too large");
+    }
+
+    #[test]
+    fn corner_to_corner_is_about_28_cycles() {
+        // Section 2: 14 hops on a conventional NoC take 28 cycles best case.
+        let cfg = NocConfig::conventional_mesh(8, 8);
+        let mut fab = ConventionalFabric::new(cfg);
+        fab.inject(flight(1, 0, 63, 1, 0), 0);
+        let arr = run_until_arrival(&mut fab, 0, 100);
+        let latency = arr[0].now - arr[0].flight.injected_at;
+        assert!((28..=31).contains(&latency), "latency {latency}");
+    }
+
+    #[test]
+    fn multi_flit_packets_add_serialization_delay() {
+        let cfg = NocConfig::conventional_mesh(4, 4);
+        let mut fab = ConventionalFabric::new(cfg);
+        fab.inject(flight(1, 0, 3, 3, 0), 0);
+        let arr = run_until_arrival(&mut fab, 0, 100);
+        let lat3 = arr[0].now;
+
+        let mut fab1 = ConventionalFabric::new(cfg);
+        fab1.inject(flight(2, 0, 3, 1, 0), 0);
+        let arr1 = run_until_arrival(&mut fab1, 0, 100);
+        let lat1 = arr1[0].now;
+        assert!(lat3 > lat1, "3-flit {lat3} should exceed 1-flit {lat1}");
+    }
+
+    #[test]
+    fn contention_serializes_packets_on_shared_link() {
+        let cfg = NocConfig::conventional_mesh(4, 1);
+        let mut fab = ConventionalFabric::new(cfg);
+        // Two packets from node 0 to node 3 compete for the same links.
+        fab.inject(flight(1, 0, 3, 4, 0), 0);
+        fab.inject(flight(2, 0, 3, 4, 0), 0);
+        let mut arrivals = Vec::new();
+        for now in 0..200 {
+            fab.tick(now, &mut arrivals);
+        }
+        assert_eq!(arrivals.len(), 2);
+        let mut times: Vec<u64> = arrivals.iter().map(|a| a.now).collect();
+        times.sort_unstable();
+        // Second packet must wait for the first to release each link.
+        assert!(times[1] >= times[0] + 4, "times {times:?}");
+    }
+
+    #[test]
+    fn in_flight_count_tracks_packets() {
+        let cfg = NocConfig::conventional_mesh(4, 4);
+        let mut fab = ConventionalFabric::new(cfg);
+        assert_eq!(fab.in_flight(), 0);
+        fab.inject(flight(1, 0, 5, 1, 0), 0);
+        assert_eq!(fab.in_flight(), 1);
+        let mut arrivals = Vec::new();
+        for now in 0..50 {
+            fab.tick(now, &mut arrivals);
+        }
+        assert_eq!(fab.in_flight(), 0);
+        assert_eq!(arrivals.len(), 1);
+    }
+}

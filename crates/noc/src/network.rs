@@ -1,0 +1,507 @@
+//! The network front-end: payload ownership, multicast expansion, ejection
+//! queues and statistics, on top of one of the three fabric engines.
+
+use crate::config::{NocConfig, RouterKind};
+use crate::conventional::ConventionalFabric;
+use crate::highradix::HighRadixFabric;
+use crate::message::{Delivered, Destination, MulticastGroupId, NetMessage, VirtualNetwork};
+use crate::router::{Arrival, FabricEngine, FlightInfo, PacketId};
+use crate::smart::SmartFabric;
+use crate::stats::NetworkStats;
+use crate::topology::{Direction, NodeId};
+use crate::vms::MulticastTree;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Error returned by [`Network::inject`] when the source NIC's injection
+/// buffer has no space this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectError;
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("injection buffer full")
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+enum Fabric {
+    Conventional(ConventionalFabric),
+    Smart(SmartFabric),
+    HighRadix(HighRadixFabric),
+}
+
+impl Fabric {
+    fn as_engine(&mut self) -> &mut dyn FabricEngine {
+        match self {
+            Fabric::Conventional(f) => f,
+            Fabric::Smart(f) => f,
+            Fabric::HighRadix(f) => f,
+        }
+    }
+
+    fn as_engine_ref(&self) -> &dyn FabricEngine {
+        match self {
+            Fabric::Conventional(f) => f,
+            Fabric::Smart(f) => f,
+            Fabric::HighRadix(f) => f,
+        }
+    }
+}
+
+struct PacketRecord<P> {
+    msg: NetMessage<P>,
+    /// For multicast copies: the direction this copy travels on the XY tree
+    /// (None at the root copy spawned by `inject`).
+    travelling: Option<Direction>,
+}
+
+/// A cycle-driven on-chip network carrying messages with payload type `P`.
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct Network<P> {
+    cfg: NocConfig,
+    fabric: Fabric,
+    cycle: u64,
+    groups: Vec<MulticastTree>,
+    packets: HashMap<PacketId, PacketRecord<P>>,
+    next_packet: u64,
+    pending: Vec<Arrival>,
+    eject_queues: Vec<VecDeque<Delivered<P>>>,
+    stats: NetworkStats,
+}
+
+impl<P: Clone> Network<P> {
+    /// Builds a network for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NocConfig::validate`].
+    pub fn new(cfg: NocConfig) -> Self {
+        cfg.validate().expect("invalid NoC configuration");
+        let fabric = match cfg.router {
+            RouterKind::Conventional => Fabric::Conventional(ConventionalFabric::new(cfg)),
+            RouterKind::Smart => Fabric::Smart(SmartFabric::new(cfg)),
+            RouterKind::HighRadix => Fabric::HighRadix(HighRadixFabric::new(cfg)),
+        };
+        Network {
+            cfg,
+            fabric,
+            cycle: 0,
+            groups: Vec::new(),
+            packets: HashMap::new(),
+            next_packet: 0,
+            pending: Vec::new(),
+            eject_queues: (0..cfg.mesh.len()).map(|_| VecDeque::new()).collect(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Registers a multicast group (e.g. the home nodes of a virtual mesh)
+    /// and returns its id for use in [`Destination::Multicast`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn register_multicast_group(&mut self, members: Vec<NodeId>) -> MulticastGroupId {
+        let id = MulticastGroupId(self.groups.len() as u32);
+        self.groups.push(MulticastTree::new(self.cfg.mesh, members));
+        id
+    }
+
+    /// Members of a previously registered multicast group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group id was not returned by this network.
+    pub fn multicast_members(&self, group: MulticastGroupId) -> &[NodeId] {
+        self.groups[group.0 as usize].members()
+    }
+
+    /// Whether the injection port at `node` can accept a message on `vn`
+    /// this cycle.
+    pub fn can_inject(&self, node: NodeId, vn: VirtualNetwork) -> bool {
+        self.fabric.as_engine_ref().can_accept(node, vn)
+    }
+
+    /// Injects a message.
+    ///
+    /// Unicast messages whose source equals their destination are delivered
+    /// locally with a 1-cycle latency without entering the fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InjectError`] if the source injection buffer is full; the
+    /// caller should retry on a later cycle (this is how back-pressure
+    /// propagates into the cache controllers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a multicast destination names an unregistered group or the
+    /// source is not a member of the group.
+    pub fn inject(&mut self, msg: NetMessage<P>) -> Result<(), InjectError> {
+        match msg.dest {
+            Destination::Unicast(dest) if dest == msg.src => {
+                self.stats.injected_messages += 1;
+                let delivered = Delivered {
+                    receiver: dest,
+                    injected_at: self.cycle,
+                    ejected_at: self.cycle + 1,
+                    latency: 1,
+                    stops: 0,
+                    msg,
+                };
+                self.stats
+                    .record_delivery(delivered.msg.vn, 1, 0);
+                self.eject_queues[dest.index()].push_back(delivered);
+                Ok(())
+            }
+            Destination::Unicast(dest) => {
+                if !self.can_inject(msg.src, msg.vn) {
+                    return Err(InjectError);
+                }
+                self.stats.injected_messages += 1;
+                let flight = self.new_flight(&msg, msg.src, dest, 0);
+                self.packets.insert(
+                    flight.id,
+                    PacketRecord {
+                        msg,
+                        travelling: None,
+                    },
+                );
+                self.fabric.as_engine().inject(flight, self.cycle);
+                Ok(())
+            }
+            Destination::Multicast(group) => {
+                assert!(
+                    (group.0 as usize) < self.groups.len(),
+                    "unregistered multicast group {group:?}"
+                );
+                if !self.can_inject(msg.src, msg.vn) {
+                    return Err(InjectError);
+                }
+                assert!(
+                    self.groups[group.0 as usize].contains(msg.src),
+                    "multicast source {} is not a member of its group",
+                    msg.src
+                );
+                self.stats.injected_messages += 1;
+                let children = self.groups[group.0 as usize].children(msg.src, None);
+                for (dir, next) in children {
+                    let flight = self.new_flight(&msg, msg.src, next, 0);
+                    self.packets.insert(
+                        flight.id,
+                        PacketRecord {
+                            msg: msg.clone(),
+                            travelling: Some(dir),
+                        },
+                    );
+                    self.stats.multicast_forks += 1;
+                    self.fabric.as_engine().inject(flight, self.cycle);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn new_flight(&mut self, msg: &NetMessage<P>, src: NodeId, dest: NodeId, stops: u32) -> FlightInfo {
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        FlightInfo {
+            id,
+            src,
+            dest,
+            vn: msg.vn,
+            flits: self.cfg.flits_for(msg.size_bytes),
+            injected_at: self.cycle,
+            stops,
+        }
+    }
+
+    /// Advances the network by one cycle.
+    pub fn tick(&mut self) {
+        let mut arrivals = Vec::new();
+        self.fabric.as_engine().tick(self.cycle, &mut arrivals);
+        self.pending.append(&mut arrivals);
+        self.cycle += 1;
+        // Release arrivals whose (possibly multi-flit) arrival time has been
+        // reached.
+        let due: Vec<Arrival> = {
+            let cycle = self.cycle;
+            let (ready, later): (Vec<Arrival>, Vec<Arrival>) =
+                self.pending.drain(..).partition(|a| a.now <= cycle);
+            self.pending = later;
+            ready
+        };
+        for arrival in due {
+            self.complete(arrival);
+        }
+    }
+
+    fn complete(&mut self, arrival: Arrival) {
+        let record = self
+            .packets
+            .remove(&arrival.flight.id)
+            .expect("arrival for unknown packet");
+        let latency = arrival.now.saturating_sub(arrival.flight.injected_at);
+        self.stats
+            .record_delivery(record.msg.vn, latency, arrival.flight.stops);
+        // Multicast: spawn children before delivering this copy.
+        if let (Destination::Multicast(group), Some(dir)) = (record.msg.dest, record.travelling) {
+            let children = self.groups[group.0 as usize].children(arrival.at, Some(dir));
+            for (cdir, next) in children {
+                let flight = FlightInfo {
+                    id: PacketId(self.next_packet),
+                    src: arrival.at,
+                    dest: next,
+                    vn: record.msg.vn,
+                    flits: arrival.flight.flits,
+                    injected_at: arrival.flight.injected_at,
+                    stops: arrival.flight.stops,
+                };
+                self.next_packet += 1;
+                self.packets.insert(
+                    flight.id,
+                    PacketRecord {
+                        msg: record.msg.clone(),
+                        travelling: Some(cdir),
+                    },
+                );
+                self.stats.multicast_forks += 1;
+                self.fabric.as_engine().inject(flight, self.cycle);
+            }
+        }
+        let delivered = Delivered {
+            receiver: arrival.at,
+            injected_at: arrival.flight.injected_at,
+            ejected_at: arrival.now,
+            latency,
+            stops: arrival.flight.stops,
+            msg: record.msg,
+        };
+        self.eject_queues[arrival.at.index()].push_back(delivered);
+    }
+
+    /// Drains all messages delivered at `node`.
+    pub fn eject(&mut self, node: NodeId) -> Vec<Delivered<P>> {
+        self.eject_queues[node.index()].drain(..).collect()
+    }
+
+    /// Drains all delivered messages across every node.
+    pub fn eject_all(&mut self) -> Vec<Delivered<P>> {
+        let mut out = Vec::new();
+        for q in &mut self.eject_queues {
+            out.extend(q.drain(..));
+        }
+        out
+    }
+
+    /// Whether any packet is still inside the fabric or waiting in an
+    /// ejection queue.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight() > 0 || self.eject_queues.iter().any(|q| !q.is_empty())
+    }
+
+    /// Number of packets currently travelling through the fabric (including
+    /// arrivals not yet released to an ejection queue), excluding already
+    /// delivered messages waiting to be ejected.
+    pub fn in_flight(&self) -> usize {
+        self.fabric.as_engine_ref().in_flight() + self.pending.len()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Total router-buffer writes performed by the fabric (a proxy for
+    /// buffer energy; SMART's raison d'être is keeping this low).
+    pub fn buffer_writes(&self) -> u64 {
+        self.fabric.as_engine_ref().buffer_writes()
+    }
+}
+
+impl<P> fmt::Debug for Network<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("cfg", &self.cfg)
+            .field("cycle", &self.cycle)
+            .field("in_flight", &self.packets.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Coord, Mesh};
+    use crate::vms::VirtualMesh;
+
+    fn run_until_quiet<P: Clone>(net: &mut Network<P>, limit: u64) {
+        let mut cycles = 0;
+        loop {
+            net.tick();
+            cycles += 1;
+            assert!(cycles < limit, "network did not drain within {limit} cycles");
+            if net.in_flight() == 0 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn unicast_delivery_on_all_router_kinds() {
+        for cfg in [
+            NocConfig::smart_mesh(8, 8, 4),
+            NocConfig::conventional_mesh(8, 8),
+            NocConfig::highradix_mesh(8, 8, 4),
+        ] {
+            let mut net: Network<u32> = Network::new(cfg);
+            net.inject(NetMessage::unicast(
+                NodeId(0),
+                NodeId(63),
+                VirtualNetwork::Request,
+                8,
+                7,
+            ))
+            .unwrap();
+            let mut got = Vec::new();
+            for _ in 0..200 {
+                net.tick();
+                got.extend(net.eject(NodeId(63)));
+                if !got.is_empty() {
+                    break;
+                }
+            }
+            assert_eq!(got.len(), 1, "router {:?}", cfg.router);
+            assert_eq!(got[0].msg.payload, 7);
+            assert!(got[0].latency > 0);
+        }
+    }
+
+    #[test]
+    fn self_message_is_delivered_locally() {
+        let mut net: Network<&str> = Network::new(NocConfig::smart_mesh(4, 4, 4));
+        net.inject(NetMessage::unicast(
+            NodeId(5),
+            NodeId(5),
+            VirtualNetwork::Response,
+            40,
+            "hi",
+        ))
+        .unwrap();
+        let got = net.eject(NodeId(5));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].latency, 1);
+    }
+
+    #[test]
+    fn vms_broadcast_reaches_every_other_home_node() {
+        let mesh = Mesh::new(8, 8);
+        let vms = VirtualMesh::new(mesh, 4, 4, Coord::new(1, 1));
+        let mut net: Network<u8> = Network::new(NocConfig::smart_mesh(8, 8, 4));
+        let group = net.register_multicast_group(vms.members().to_vec());
+        let root = vms.home_for(NodeId(0));
+        net.inject(NetMessage::multicast(
+            root,
+            group,
+            VirtualNetwork::Broadcast,
+            8,
+            1,
+        ))
+        .unwrap();
+        run_until_quiet(&mut net, 500);
+        let mut receivers = Vec::new();
+        for &m in vms.members() {
+            for d in net.eject(m) {
+                receivers.push(d.receiver);
+                // Figure 3: the whole broadcast completes within a handful of
+                // SMART-hops; allow some slack for fork arbitration.
+                assert!(d.latency <= 20, "latency {}", d.latency);
+            }
+        }
+        receivers.sort_unstable();
+        let mut expected: Vec<NodeId> = vms
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| m != root)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(receivers, expected);
+    }
+
+    #[test]
+    fn broadcast_on_16_cluster_vms_covers_all() {
+        let mesh = Mesh::new(16, 16);
+        let vms = VirtualMesh::new(mesh, 4, 4, Coord::new(0, 0));
+        let mut net: Network<u8> = Network::new(NocConfig::smart_mesh(16, 16, 4));
+        let group = net.register_multicast_group(vms.members().to_vec());
+        let root = vms.members()[0];
+        net.inject(NetMessage::multicast(
+            root,
+            group,
+            VirtualNetwork::Broadcast,
+            8,
+            0,
+        ))
+        .unwrap();
+        run_until_quiet(&mut net, 2000);
+        let delivered: usize = vms.members().iter().map(|&m| net.eject(m).len()).sum();
+        assert_eq!(delivered, 15);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut net: Network<u8> = Network::new(NocConfig::smart_mesh(4, 4, 4));
+        for i in 0..4u16 {
+            net.inject(NetMessage::unicast(
+                NodeId(i),
+                NodeId(15 - i),
+                VirtualNetwork::Request,
+                8,
+                0,
+            ))
+            .unwrap();
+        }
+        run_until_quiet(&mut net, 500);
+        net.eject_all();
+        assert_eq!(net.stats().injected_messages, 4);
+        assert_eq!(net.stats().delivered_copies, 4);
+        assert!(net.stats().avg_latency() > 0.0);
+    }
+
+    #[test]
+    fn backpressure_limits_injection() {
+        let cfg = NocConfig::smart_mesh(4, 4, 4);
+        let mut net: Network<u8> = Network::new(cfg);
+        let mut accepted = 0;
+        // Flood a single source without ever ticking; eventually the
+        // injection queue fills up.
+        for _ in 0..1000 {
+            match net.inject(NetMessage::unicast(
+                NodeId(0),
+                NodeId(15),
+                VirtualNetwork::Request,
+                8,
+                0,
+            )) {
+                Ok(()) => accepted += 1,
+                Err(InjectError) => break,
+            }
+        }
+        assert!(accepted >= cfg.vn_buffer_capacity() as u64);
+        assert!(accepted < 1000);
+    }
+}

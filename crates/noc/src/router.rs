@@ -1,0 +1,290 @@
+//! Shared router infrastructure used by all three fabric engines
+//! (conventional, SMART, high-radix): input-port buffers, in-flight packet
+//! descriptors, round-robin arbitration state and link-occupancy tracking.
+
+use crate::message::VirtualNetwork;
+use crate::topology::{Direction, NodeId};
+use std::collections::VecDeque;
+
+/// Unique identifier of a packet (or of one multicast child copy) while it is
+/// inside the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+/// Routing/timing descriptor of a packet in flight. The payload itself stays
+/// in the [`crate::Network`]'s packet table; engines only move these
+/// light-weight descriptors through router buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightInfo {
+    /// Packet identity (keys into the network's packet table).
+    pub id: PacketId,
+    /// Node where this packet (copy) entered the network.
+    pub src: NodeId,
+    /// Destination router of the current segment.
+    pub dest: NodeId,
+    /// Virtual network.
+    pub vn: VirtualNetwork,
+    /// Number of flits (serialization cycles per link).
+    pub flits: u32,
+    /// Cycle the original message was injected.
+    pub injected_at: u64,
+    /// Number of routers at which the packet has been buffered so far.
+    pub stops: u32,
+}
+
+/// A packet that reached the destination router of its current segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// The packet descriptor.
+    pub flight: FlightInfo,
+    /// Router at which it arrived (always `flight.dest`).
+    pub at: NodeId,
+    /// Cycle of arrival.
+    pub now: u64,
+}
+
+/// One buffered packet, not eligible for switch allocation before
+/// `ready_at` (models link traversal and serialization of body flits).
+#[derive(Debug, Clone, Copy)]
+pub struct Buffered {
+    /// Packet descriptor.
+    pub flight: FlightInfo,
+    /// First cycle at which the packet may compete for the switch.
+    pub ready_at: u64,
+}
+
+/// Input buffers of one router: one FIFO per (input port, virtual network).
+/// Capacity is `vcs_per_vn * vc_depth` packets per FIFO, mirroring the VC
+/// organization of Table 1 at packet granularity.
+#[derive(Debug, Clone)]
+pub struct InputBuffers {
+    queues: Vec<VecDeque<Buffered>>,
+    ports: usize,
+    capacity: usize,
+    total: usize,
+}
+
+impl InputBuffers {
+    /// Creates buffers for a router with `ports` input ports.
+    pub fn new(ports: usize, capacity: usize) -> Self {
+        InputBuffers {
+            queues: vec![VecDeque::new(); ports * VirtualNetwork::ALL.len()],
+            ports,
+            capacity,
+            total: 0,
+        }
+    }
+
+    fn idx(&self, port: usize, vn: VirtualNetwork) -> usize {
+        debug_assert!(port < self.ports);
+        port * VirtualNetwork::ALL.len() + vn.index()
+    }
+
+    /// Whether the FIFO for (`port`, `vn`) has room for another packet.
+    pub fn has_space(&self, port: usize, vn: VirtualNetwork) -> bool {
+        self.queues[self.idx(port, vn)].len() < self.capacity
+    }
+
+    /// Current occupancy of the FIFO for (`port`, `vn`).
+    pub fn occupancy(&self, port: usize, vn: VirtualNetwork) -> usize {
+        self.queues[self.idx(port, vn)].len()
+    }
+
+    /// Pushes a packet, regardless of capacity (capacity is enforced by the
+    /// engines at allocation time; premature SMART stops are allowed to
+    /// overflow and are tracked in the statistics).
+    pub fn push(&mut self, port: usize, vn: VirtualNetwork, b: Buffered) {
+        let idx = self.idx(port, vn);
+        self.queues[idx].push_back(b);
+        self.total += 1;
+    }
+
+    /// Head of the FIFO for (`port`, `vn`).
+    pub fn head(&self, port: usize, vn: VirtualNetwork) -> Option<&Buffered> {
+        self.queues[self.idx(port, vn)].front()
+    }
+
+    /// Pops the head of the FIFO for (`port`, `vn`).
+    pub fn pop(&mut self, port: usize, vn: VirtualNetwork) -> Option<Buffered> {
+        let idx = self.idx(port, vn);
+        let popped = self.queues[idx].pop_front();
+        if popped.is_some() {
+            self.total -= 1;
+        }
+        popped
+    }
+
+    /// Total number of packets buffered in this router (O(1)).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the router holds no packets at all (cheap early-out for the
+    /// per-cycle engine loops).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of input ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Iterates over every `(port, vn)` pair.
+    pub fn lanes(&self) -> impl Iterator<Item = (usize, VirtualNetwork)> + '_ {
+        (0..self.ports).flat_map(|p| VirtualNetwork::ALL.into_iter().map(move |vn| (p, vn)))
+    }
+}
+
+/// Round-robin arbitration pointer over an arbitrary number of requesters.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    last: usize,
+}
+
+impl RoundRobin {
+    /// Creates a fresh arbiter.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+
+    /// Picks one of `candidates` (indices into some requester space),
+    /// starting the search just after the previous winner so that grants
+    /// rotate fairly.
+    pub fn pick(&mut self, candidates: &[usize], space: usize) -> Option<usize> {
+        if candidates.is_empty() || space == 0 {
+            return None;
+        }
+        let start = (self.last + 1) % space;
+        let winner = candidates
+            .iter()
+            .copied()
+            .min_by_key(|&c| (c + space - start) % space)?;
+        self.last = winner;
+        Some(winner)
+    }
+}
+
+/// Tracks when each unidirectional link becomes free again (a packet of `n`
+/// flits holds its links for `n` cycles).
+#[derive(Debug, Clone)]
+pub struct LinkOccupancy {
+    busy_until: Vec<u64>,
+    links_per_node: usize,
+}
+
+impl LinkOccupancy {
+    /// Creates occupancy tracking for `nodes` routers with `links_per_node`
+    /// outgoing links each.
+    pub fn new(nodes: usize, links_per_node: usize) -> Self {
+        LinkOccupancy {
+            busy_until: vec![0; nodes * links_per_node],
+            links_per_node,
+        }
+    }
+
+    fn idx(&self, node: NodeId, link: usize) -> usize {
+        debug_assert!(link < self.links_per_node);
+        node.index() * self.links_per_node + link
+    }
+
+    /// Whether the given outgoing link of `node` is free at `now`.
+    pub fn is_free(&self, node: NodeId, link: usize, now: u64) -> bool {
+        self.busy_until[self.idx(node, link)] <= now
+    }
+
+    /// Marks the link busy until `until`.
+    pub fn occupy(&mut self, node: NodeId, link: usize, until: u64) {
+        let idx = self.idx(node, link);
+        self.busy_until[idx] = self.busy_until[idx].max(until);
+    }
+}
+
+/// Helper mapping a cardinal direction to a link slot index (0..4).
+pub fn dir_link(dir: Direction) -> usize {
+    dir.index()
+}
+
+/// Common interface of the three fabric engines (conventional, SMART,
+/// high-radix). The [`crate::Network`] front-end owns payloads and multicast
+/// expansion; engines only move [`FlightInfo`] descriptors.
+pub trait FabricEngine {
+    /// Whether the injection queue at `node` for `vn` can accept a packet.
+    fn can_accept(&self, node: NodeId, vn: VirtualNetwork) -> bool;
+
+    /// Places a packet into the source router's local input port. The caller
+    /// must have checked [`FabricEngine::can_accept`].
+    fn inject(&mut self, flight: FlightInfo, now: u64);
+
+    /// Advances the fabric by one cycle, appending packets that reached their
+    /// segment destination to `arrivals`.
+    fn tick(&mut self, now: u64, arrivals: &mut Vec<Arrival>);
+
+    /// Number of packets currently inside the fabric.
+    fn in_flight(&self) -> usize;
+
+    /// Total number of router-buffer writes so far (a proxy for buffer
+    /// energy and for SMART premature stops).
+    fn buffer_writes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fi(id: u64) -> FlightInfo {
+        FlightInfo {
+            id: PacketId(id),
+            src: NodeId(0),
+            dest: NodeId(1),
+            vn: VirtualNetwork::Request,
+            flits: 1,
+            injected_at: 0,
+            stops: 0,
+        }
+    }
+
+    #[test]
+    fn buffers_fifo_order_and_capacity() {
+        let mut b = InputBuffers::new(5, 2);
+        assert!(b.has_space(0, VirtualNetwork::Request));
+        b.push(0, VirtualNetwork::Request, Buffered { flight: fi(1), ready_at: 0 });
+        b.push(0, VirtualNetwork::Request, Buffered { flight: fi(2), ready_at: 0 });
+        assert!(!b.has_space(0, VirtualNetwork::Request));
+        assert_eq!(b.head(0, VirtualNetwork::Request).unwrap().flight.id, PacketId(1));
+        assert_eq!(b.pop(0, VirtualNetwork::Request).unwrap().flight.id, PacketId(1));
+        assert_eq!(b.pop(0, VirtualNetwork::Request).unwrap().flight.id, PacketId(2));
+        assert!(b.pop(0, VirtualNetwork::Request).is_none());
+    }
+
+    #[test]
+    fn buffers_are_per_lane() {
+        let mut b = InputBuffers::new(5, 1);
+        b.push(0, VirtualNetwork::Request, Buffered { flight: fi(1), ready_at: 0 });
+        assert!(b.has_space(0, VirtualNetwork::Response));
+        assert!(b.has_space(1, VirtualNetwork::Request));
+        assert_eq!(b.total(), 1);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.pick(&[0, 1, 2], 3), Some(1));
+        assert_eq!(rr.pick(&[0, 1, 2], 3), Some(2));
+        assert_eq!(rr.pick(&[0, 1, 2], 3), Some(0));
+        assert_eq!(rr.pick(&[2], 3), Some(2));
+        assert_eq!(rr.pick(&[], 3), None);
+    }
+
+    #[test]
+    fn link_occupancy_blocks_until_free() {
+        let mut l = LinkOccupancy::new(4, 5);
+        assert!(l.is_free(NodeId(2), 0, 0));
+        l.occupy(NodeId(2), 0, 3);
+        assert!(!l.is_free(NodeId(2), 0, 2));
+        assert!(l.is_free(NodeId(2), 0, 3));
+        // Other links unaffected.
+        assert!(l.is_free(NodeId(2), 1, 0));
+        assert!(l.is_free(NodeId(3), 0, 0));
+    }
+}

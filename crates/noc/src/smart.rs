@@ -1,0 +1,371 @@
+//! SMART fabric: Single-cycle Multi-hop Asynchronous Repeated Traversal.
+//!
+//! Every cycle, switch-allocation winners at each router broadcast a SMART
+//! Setup Request (SSR) up to `HPCmax` hops along their output dimension.
+//! Each router on the path arbitrates among the SSRs it receives, giving
+//! priority to *nearer* flits; the winner's multi-hop bypass path is pre-set
+//! and the flit traverses it in a single cycle (ST+LT), being latched only at
+//! the router where it stops. Losers are prematurely buffered at the router
+//! where they lost and retry from there.
+//!
+//! The implementation follows the SMART-1D design used by the paper: flits
+//! never bypass a turn — an X+Y route costs at least two SMART-hops — and
+//! the best-case latency is 2 cycles per SMART-hop (SSR, then ST+LT).
+
+use crate::config::NocConfig;
+use crate::message::VirtualNetwork;
+use crate::router::{
+    dir_link, Arrival, Buffered, FabricEngine, FlightInfo, InputBuffers, LinkOccupancy, RoundRobin,
+};
+use crate::topology::{Direction, Mesh, NodeId};
+
+const PORTS: usize = 5;
+
+/// A granted SMART Setup Request: `flight` intends to leave `start` in
+/// direction `dir` and travel `want_hops` hops this cycle.
+#[derive(Debug, Clone, Copy)]
+struct Ssr {
+    flight: FlightInfo,
+    start: NodeId,
+    port: usize,
+    dir: Direction,
+    want_hops: u16,
+}
+
+/// The SMART-NoC fabric engine.
+#[derive(Debug)]
+pub struct SmartFabric {
+    cfg: NocConfig,
+    mesh: Mesh,
+    buffers: Vec<InputBuffers>,
+    arbiters: Vec<RoundRobin>,
+    links: LinkOccupancy,
+    in_flight: usize,
+    buffer_writes: u64,
+    premature_stops: u64,
+}
+
+impl SmartFabric {
+    /// Builds the fabric for the given configuration.
+    pub fn new(cfg: NocConfig) -> Self {
+        let mesh = cfg.mesh;
+        let nodes = mesh.len();
+        SmartFabric {
+            cfg,
+            mesh,
+            buffers: (0..nodes)
+                .map(|_| InputBuffers::new(PORTS, cfg.vn_buffer_capacity()))
+                .collect(),
+            arbiters: (0..nodes * PORTS).map(|_| RoundRobin::new()).collect(),
+            links: LinkOccupancy::new(nodes, PORTS),
+            in_flight: 0,
+            buffer_writes: 0,
+            premature_stops: 0,
+        }
+    }
+
+    /// Number of times a flit was stopped before completing its intended
+    /// SMART-hop because it lost SSR arbitration to a nearer flit.
+    pub fn premature_stops(&self) -> u64 {
+        self.premature_stops
+    }
+
+    /// Desired output direction and hop count for `flight` sitting at `at`:
+    /// the remaining distance in the current XY dimension, clamped to
+    /// `HPCmax` (SMART-1D stops at the turn router).
+    fn desired(&self, at: NodeId, flight: &FlightInfo) -> Option<(Direction, u16)> {
+        let dir = self.mesh.xy_next_dir(at, flight.dest)?;
+        let here = self.mesh.coord(at);
+        let there = self.mesh.coord(flight.dest);
+        let remaining = if dir.is_horizontal() {
+            here.x.abs_diff(there.x)
+        } else {
+            here.y.abs_diff(there.y)
+        };
+        Some((dir, remaining.min(self.cfg.hpc_max)))
+    }
+}
+
+impl FabricEngine for SmartFabric {
+    fn can_accept(&self, node: NodeId, vn: VirtualNetwork) -> bool {
+        self.buffers[node.index()].has_space(Direction::Local.index(), vn)
+    }
+
+    fn inject(&mut self, flight: FlightInfo, now: u64) {
+        self.buffers[flight.src.index()].push(
+            Direction::Local.index(),
+            flight.vn,
+            Buffered {
+                flight,
+                ready_at: now + 1,
+            },
+        );
+        self.in_flight += 1;
+        self.buffer_writes += 1;
+    }
+
+    fn tick(&mut self, now: u64, arrivals: &mut Vec<Arrival>) {
+        // Phase 1 — local switch allocation + SSR generation.
+        //
+        // At each router, for each output direction, at most one ready head
+        // packet wins the switch and broadcasts an SSR of length
+        // min(remaining-in-dimension, HPCmax).
+        let mut ssrs: Vec<Ssr> = Vec::new();
+        for node in self.mesh.nodes() {
+            let bufs = &self.buffers[node.index()];
+            if bufs.is_empty() {
+                continue;
+            }
+            for out in Direction::CARDINAL {
+                if !self.links.is_free(node, dir_link(out), now) {
+                    continue;
+                }
+                let mut candidates: Vec<usize> = Vec::new();
+                let mut lane_of: Vec<(usize, VirtualNetwork, u16)> = Vec::new();
+                for (lane_idx, (port, vn)) in bufs.lanes().enumerate() {
+                    if let Some(head) = bufs.head(port, vn) {
+                        if head.ready_at <= now {
+                            if let Some((dir, hops)) = self.desired(node, &head.flight) {
+                                if dir == out && hops > 0 {
+                                    candidates.push(lane_idx);
+                                    lane_of.push((port, vn, hops));
+                                }
+                            }
+                        }
+                    }
+                }
+                if candidates.is_empty() {
+                    continue;
+                }
+                let arb = &mut self.arbiters[node.index() * PORTS + dir_link(out)];
+                let total_lanes = PORTS * VirtualNetwork::ALL.len();
+                if let Some(winner) = arb.pick(&candidates, total_lanes) {
+                    let pos = candidates
+                        .iter()
+                        .position(|&c| c == winner)
+                        .expect("winner in list");
+                    let (port, vn, hops) = lane_of[pos];
+                    let head = self.buffers[node.index()]
+                        .head(port, vn)
+                        .expect("head exists");
+                    ssrs.push(Ssr {
+                        flight: head.flight,
+                        start: node,
+                        port,
+                        dir: out,
+                        want_hops: hops,
+                    });
+                }
+            }
+        }
+
+        // Phase 2 — SSR arbitration with nearer-flit priority.
+        //
+        // Links are claimed in rounds of increasing distance from each SSR's
+        // start router: a flit claiming the link out of its own router
+        // (round 1) always beats a flit trying to bypass through that router
+        // (round >= 2), which is exactly the "prioritize local/nearer flits"
+        // rule of the SMART paper. An SSR whose claim fails is truncated and
+        // its flit stops (is prematurely buffered) at the router before the
+        // contended link.
+        let nodes = self.mesh.len();
+        // claimed[node * 4 + dir'] = true if the link leaving `node` in a
+        // cardinal direction has been claimed this cycle.
+        let mut claimed = vec![false; nodes * 4];
+        let claim_idx = |node: NodeId, dir: Direction| node.index() * 4 + dir_link(dir);
+        // travel[i] = hops SSR i actually gets to traverse this cycle.
+        let mut travel: Vec<u16> = vec![0; ssrs.len()];
+        let mut active: Vec<bool> = ssrs.iter().map(|s| s.want_hops > 0).collect();
+        let max_hops = self.cfg.hpc_max.max(1);
+        for round in 0..max_hops {
+            for (i, ssr) in ssrs.iter().enumerate() {
+                if !active[i] || round >= ssr.want_hops {
+                    active[i] = false;
+                    continue;
+                }
+                // Router the flit sits at after `round` hops.
+                let at = self.mesh.advance(ssr.start, ssr.dir, round);
+                let idx = claim_idx(at, ssr.dir);
+                if claimed[idx] {
+                    // Lost to a nearer flit: stop here.
+                    active[i] = false;
+                    if travel[i] < ssr.want_hops && travel[i] > 0 {
+                        self.premature_stops += 1;
+                    }
+                } else {
+                    claimed[idx] = true;
+                    travel[i] += 1;
+                }
+            }
+        }
+        for (i, ssr) in ssrs.iter().enumerate() {
+            if travel[i] > 0 && travel[i] < ssr.want_hops {
+                // Count flits truncated in the final round as premature too.
+                self.premature_stops += u64::from(active[i]);
+            }
+        }
+
+        // Phase 3 — single-cycle multi-hop traversal (ST + LT) of the
+        // granted paths. The flit is latched at the stop router at the end of
+        // the next cycle; every claimed link is held for the packet length.
+        for (i, ssr) in ssrs.iter().enumerate() {
+            let hops = travel[i];
+            if hops == 0 {
+                continue;
+            }
+            let buffered = self.buffers[ssr.start.index()]
+                .pop(ssr.port, ssr.flight.vn)
+                .expect("ssr packet present");
+            let mut flight = buffered.flight;
+            let flits = flight.flits as u64;
+            for h in 0..hops {
+                let link_node = self.mesh.advance(ssr.start, ssr.dir, h);
+                self.links
+                    .occupy(link_node, dir_link(ssr.dir), now + flits);
+            }
+            let stop = self.mesh.advance(ssr.start, ssr.dir, hops);
+            let arrival_cycle = now + 1 + (flits - 1);
+            flight.stops += 1;
+            if stop == flight.dest {
+                self.in_flight -= 1;
+                arrivals.push(Arrival {
+                    flight,
+                    at: stop,
+                    now: arrival_cycle,
+                });
+            } else {
+                self.buffer_writes += 1;
+                self.buffers[stop.index()].push(
+                    ssr.dir.opposite().index(),
+                    flight.vn,
+                    Buffered {
+                        flight,
+                        ready_at: arrival_cycle + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    fn buffer_writes(&self) -> u64 {
+        self.buffer_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::PacketId;
+
+    fn flight(id: u64, src: u16, dest: u16, flits: u32) -> FlightInfo {
+        FlightInfo {
+            id: PacketId(id),
+            src: NodeId(src),
+            dest: NodeId(dest),
+            vn: VirtualNetwork::Request,
+            flits,
+            injected_at: 0,
+            stops: 0,
+        }
+    }
+
+    fn drain(fab: &mut SmartFabric, cycles: u64) -> Vec<Arrival> {
+        let mut arrivals = Vec::new();
+        for now in 0..cycles {
+            fab.tick(now, &mut arrivals);
+        }
+        arrivals
+    }
+
+    #[test]
+    fn single_smart_hop_covers_hpcmax_hops() {
+        let cfg = NocConfig::smart_mesh(8, 8, 4);
+        let mut fab = SmartFabric::new(cfg);
+        // 4 hops east: one SMART-hop, ~2-3 cycles total.
+        fab.inject(flight(1, 0, 4, 1), 0);
+        let arr = drain(&mut fab, 20);
+        assert_eq!(arr.len(), 1);
+        let latency = arr[0].now - arr[0].flight.injected_at;
+        assert!(latency <= 3, "latency {latency}");
+        assert_eq!(arr[0].flight.stops, 1);
+    }
+
+    #[test]
+    fn corner_to_corner_is_about_8_cycles() {
+        // Section 2: 14 hops on 8x8 with HPCmax=4 is 4 SMART-hops = 8 cycles
+        // best case.
+        let cfg = NocConfig::smart_mesh(8, 8, 4);
+        let mut fab = SmartFabric::new(cfg);
+        fab.inject(flight(1, 0, 63, 1), 0);
+        let arr = drain(&mut fab, 40);
+        assert_eq!(arr.len(), 1);
+        let latency = arr[0].now - arr[0].flight.injected_at;
+        assert!((8..=10).contains(&latency), "latency {latency}");
+        assert_eq!(arr[0].flight.stops, 4);
+    }
+
+    #[test]
+    fn smart_beats_conventional_on_long_paths() {
+        use crate::conventional::ConventionalFabric;
+        let smart_cfg = NocConfig::smart_mesh(8, 8, 4);
+        let conv_cfg = NocConfig::conventional_mesh(8, 8);
+        let mut smart = SmartFabric::new(smart_cfg);
+        let mut conv = ConventionalFabric::new(conv_cfg);
+        smart.inject(flight(1, 0, 63, 1), 0);
+        conv.inject(flight(1, 0, 63, 1), 0);
+        let s = drain(&mut smart, 100)[0].now;
+        let mut arrivals = Vec::new();
+        for now in 0..100 {
+            conv.tick(now, &mut arrivals);
+        }
+        let c = arrivals[0].now;
+        assert!(s * 2 <= c, "smart {s} vs conventional {c}");
+    }
+
+    #[test]
+    fn turning_flit_takes_two_smart_hops() {
+        let cfg = NocConfig::smart_mesh(8, 8, 4);
+        let mut fab = SmartFabric::new(cfg);
+        // 3 hops east + 3 hops north: SMART-1D forces a stop at the turn.
+        let dest = 8 * 3 + 3;
+        fab.inject(flight(1, 0, dest, 1), 0);
+        let arr = drain(&mut fab, 20);
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].flight.stops, 2);
+        let latency = arr[0].now;
+        assert!((4..=6).contains(&latency), "latency {latency}");
+    }
+
+    #[test]
+    fn nearer_flit_wins_and_farther_flit_stops_prematurely() {
+        // Recreates Figure 2c: flit A from router 0 going east 3+ hops,
+        // flit B injected at router 1 also going east. B is "nearer" to
+        // router 1's output link, so A must stop prematurely at router 1.
+        let cfg = NocConfig::smart_mesh(8, 1, 4);
+        let mut fab = SmartFabric::new(cfg);
+        fab.inject(flight(1, 0, 6, 1), 0); // A: wants 0 -> 4 in one SMART-hop
+        fab.inject(flight(2, 1, 6, 1), 0); // B: local at router 1
+        let arr = drain(&mut fab, 40);
+        assert_eq!(arr.len(), 2);
+        let a = arr.iter().find(|a| a.flight.id == PacketId(1)).unwrap();
+        let b = arr.iter().find(|a| a.flight.id == PacketId(2)).unwrap();
+        // A is delayed relative to running alone (which would be ~4 cycles).
+        assert!(a.now > b.now || a.flight.stops > 2, "a {a:?} b {b:?}");
+        assert!(fab.premature_stops() >= 1);
+    }
+
+    #[test]
+    fn buffer_writes_counted_only_at_stops() {
+        let cfg = NocConfig::smart_mesh(8, 8, 4);
+        let mut fab = SmartFabric::new(cfg);
+        fab.inject(flight(1, 0, 4, 1), 0);
+        drain(&mut fab, 20);
+        // One injection write, no intermediate stop writes (the single
+        // SMART-hop goes straight to the destination).
+        assert_eq!(fab.buffer_writes(), 1);
+    }
+}

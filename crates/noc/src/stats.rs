@@ -1,0 +1,85 @@
+//! Aggregate network statistics.
+
+use crate::message::VirtualNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`crate::Network`] over a simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Messages handed to `inject` (multicasts count once).
+    pub injected_messages: u64,
+    /// Copies delivered at destination NICs (a multicast to `n` members
+    /// counts `n` times).
+    pub delivered_copies: u64,
+    /// Sum of end-to-end latencies of all delivered copies.
+    pub total_latency: u64,
+    /// Largest single delivery latency observed.
+    pub max_latency: u64,
+    /// Sum of router-buffer stops over all delivered copies.
+    pub total_stops: u64,
+    /// Deliveries per virtual network.
+    pub per_vn_delivered: [u64; 5],
+    /// Latency sum per virtual network.
+    pub per_vn_latency: [u64; 5],
+    /// Multicast child copies spawned at fork points.
+    pub multicast_forks: u64,
+}
+
+impl NetworkStats {
+    /// Records one delivered copy.
+    pub fn record_delivery(&mut self, vn: VirtualNetwork, latency: u64, stops: u32) {
+        self.delivered_copies += 1;
+        self.total_latency += latency;
+        self.max_latency = self.max_latency.max(latency);
+        self.total_stops += u64::from(stops);
+        self.per_vn_delivered[vn.index()] += 1;
+        self.per_vn_latency[vn.index()] += latency;
+    }
+
+    /// Average delivery latency in cycles (0 if nothing delivered).
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered_copies == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered_copies as f64
+        }
+    }
+
+    /// Average latency on one virtual network.
+    pub fn avg_latency_vn(&self, vn: VirtualNetwork) -> f64 {
+        let n = self.per_vn_delivered[vn.index()];
+        if n == 0 {
+            0.0
+        } else {
+            self.per_vn_latency[vn.index()] as f64 / n as f64
+        }
+    }
+
+    /// Average number of router stops per delivered copy.
+    pub fn avg_stops(&self) -> f64 {
+        if self.delivered_copies == 0 {
+            0.0
+        } else {
+            self.total_stops as f64 / self.delivered_copies as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_empty_and_nonempty() {
+        let mut s = NetworkStats::default();
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.avg_stops(), 0.0);
+        s.record_delivery(VirtualNetwork::Request, 10, 2);
+        s.record_delivery(VirtualNetwork::Response, 20, 4);
+        assert_eq!(s.avg_latency(), 15.0);
+        assert_eq!(s.avg_stops(), 3.0);
+        assert_eq!(s.max_latency, 20);
+        assert_eq!(s.avg_latency_vn(VirtualNetwork::Request), 10.0);
+        assert_eq!(s.avg_latency_vn(VirtualNetwork::Forward), 0.0);
+    }
+}

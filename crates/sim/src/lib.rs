@@ -1,0 +1,35 @@
+//! # loco-sim — trace-driven CMP simulator for the LOCO reproduction
+//!
+//! This crate plays the role GEMS plays in the paper: it instantiates a tiled
+//! CMP (in-order cores, L1/L2 caches, directories, memory controllers) on
+//! top of the cycle-driven `loco-noc` fabric, replays `loco-workloads`
+//! traces against any of the five cache organizations, and reports the
+//! statistics every figure of the evaluation is derived from.
+//!
+//! The top-level type is [`system::CmpSystem`]; [`config::SystemConfig`]
+//! captures Table 1 of the paper.
+//!
+//! ```rust,no_run
+//! use loco_sim::{CmpSystem, SystemConfig};
+//! use loco_cache::OrganizationKind;
+//! use loco_workloads::{Benchmark, TraceGenerator};
+//!
+//! let cfg = SystemConfig::asplos_64(OrganizationKind::LocoCcVmsIvr);
+//! let traces = TraceGenerator::new(1).generate(&Benchmark::Lu.spec(), 64, 2_000);
+//! let mut system = CmpSystem::new(cfg, traces);
+//! let results = system.run(10_000_000);
+//! println!("runtime = {} cycles", results.runtime_cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod core;
+pub mod results;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use core::{CoreModel, CoreStatus};
+pub use results::SimResults;
+pub use system::CmpSystem;

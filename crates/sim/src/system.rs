@@ -1,0 +1,547 @@
+//! The simulated CMP: cores, caches, directories, memory controllers and the
+//! NoC, advanced cycle by cycle.
+
+use crate::config::SystemConfig;
+use crate::core::{CoreModel, CoreStatus};
+use crate::results::SimResults;
+use loco_cache::{
+    CacheStats, DirectoryController, L1Controller, L2Controller, MemoryController, MemoryMap,
+    MsgKind, Organization, Outgoing, ProtocolMsg, ResponseSource, Unit,
+};
+use loco_noc::{Delivered, Destination, MulticastGroupId, NetMessage, Network, NodeId};
+use loco_workloads::CoreTrace;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// A protocol message waiting out its local processing delay before being
+/// injected into the network at `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    ready: u64,
+    seq: u64,
+    node: NodeId,
+    msg: ProtocolMsg,
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready, self.seq).cmp(&(other.ready, other.seq))
+    }
+}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Default)]
+struct BarrierTracker {
+    group_sizes: HashMap<usize, usize>,
+    arrivals: HashMap<(usize, u32), HashSet<usize>>,
+}
+
+impl BarrierTracker {
+    /// Registers an arrival; returns `true` if the barrier is now complete.
+    fn arrive(&mut self, group: usize, id: u32, core: usize) -> bool {
+        let set = self.arrivals.entry((group, id)).or_default();
+        set.insert(core);
+        set.len() >= self.group_sizes.get(&group).copied().unwrap_or(usize::MAX)
+    }
+
+    fn release(&mut self, group: usize, id: u32) -> Vec<usize> {
+        self.arrivals
+            .remove(&(group, id))
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default()
+    }
+}
+
+/// A full simulated chip multiprocessor.
+pub struct CmpSystem {
+    cfg: SystemConfig,
+    org: Organization,
+    memmap: MemoryMap,
+    network: Network<ProtocolMsg>,
+    cores: Vec<CoreModel>,
+    l1s: Vec<L1Controller>,
+    l2s: Vec<L2Controller>,
+    dirs: HashMap<NodeId, DirectoryController>,
+    mems: HashMap<NodeId, MemoryController>,
+    vms_groups: HashMap<u64, MulticastGroupId>,
+    pending: BinaryHeap<Reverse<Pending>>,
+    retry: VecDeque<NetMessage<ProtocolMsg>>,
+    barriers: BarrierTracker,
+    now: u64,
+    seq: u64,
+    // System-level latency accounting (attributed at L1 fill time).
+    l2_hit_latency_sum: u64,
+    l2_hit_latency_count: u64,
+    miss_latency_sum: u64,
+    miss_latency_count: u64,
+}
+
+impl CmpSystem {
+    /// Builds a system where core `i` replays `traces[i]`; all cores belong
+    /// to barrier group 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more traces than tiles.
+    pub fn new(cfg: SystemConfig, traces: Vec<CoreTrace>) -> Self {
+        let n = traces.len();
+        Self::with_groups(cfg, traces, vec![0; n])
+    }
+
+    /// Builds a system with an explicit barrier/task group per core
+    /// (multi-program workloads map each task instance to its own group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more traces than tiles or the group vector length
+    /// does not match.
+    pub fn with_groups(cfg: SystemConfig, mut traces: Vec<CoreTrace>, mut groups: Vec<usize>) -> Self {
+        let cores_n = cfg.num_cores();
+        assert!(
+            traces.len() <= cores_n,
+            "{} traces for a {}-core system",
+            traces.len(),
+            cores_n
+        );
+        assert_eq!(traces.len(), groups.len(), "one group per trace");
+        traces.resize(cores_n, CoreTrace::default());
+        groups.resize(cores_n, usize::MAX);
+        let org = cfg.organization();
+        let memmap = cfg.memory_map();
+        let mut network = Network::new(cfg.noc_config());
+
+        // Pre-register one multicast group per virtual mesh (one per HNid).
+        let mut vms_groups = HashMap::new();
+        if org.uses_vms() {
+            for hnid in 0..org.num_vms() as u64 {
+                let members = org.vms_members(loco_cache::LineAddr(hnid));
+                let id = network.register_multicast_group(members);
+                vms_groups.insert(hnid, id);
+            }
+        }
+
+        let mut barriers = BarrierTracker::default();
+        for (i, g) in groups.iter().enumerate() {
+            if !traces[i].ops().is_empty() {
+                *barriers.group_sizes.entry(*g).or_insert(0) += 1;
+            }
+        }
+
+        let cores: Vec<CoreModel> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| CoreModel::new(NodeId(i as u16), t, groups[i]))
+            .collect();
+        let l1s: Vec<L1Controller> = (0..cores_n)
+            .map(|i| L1Controller::new(NodeId(i as u16), cfg.l1, org))
+            .collect();
+        let l2s: Vec<L2Controller> = (0..cores_n)
+            .map(|i| L2Controller::new(NodeId(i as u16), cfg.l2, org, memmap.clone()))
+            .collect();
+        let dirs: HashMap<NodeId, DirectoryController> = memmap
+            .controllers()
+            .iter()
+            .map(|&n| (n, DirectoryController::new(n, cfg.dir, org)))
+            .collect();
+        let mems: HashMap<NodeId, MemoryController> = memmap
+            .controllers()
+            .iter()
+            .map(|&n| (n, MemoryController::new(n, cfg.mem)))
+            .collect();
+
+        CmpSystem {
+            cfg,
+            org,
+            memmap,
+            network,
+            cores,
+            l1s,
+            l2s,
+            dirs,
+            mems,
+            vms_groups,
+            pending: BinaryHeap::new(),
+            retry: VecDeque::new(),
+            barriers,
+            now: 0,
+            seq: 0,
+            l2_hit_latency_sum: 0,
+            l2_hit_latency_count: 0,
+            miss_latency_sum: 0,
+            miss_latency_count: 0,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether every core has finished its trace.
+    pub fn all_finished(&self) -> bool {
+        self.cores.iter().all(CoreModel::is_finished)
+    }
+
+    fn schedule(&mut self, node: NodeId, outgoing: Vec<Outgoing>) {
+        for o in outgoing {
+            self.seq += 1;
+            self.pending.push(Reverse(Pending {
+                ready: self.now + o.delay,
+                seq: self.seq,
+                node,
+                msg: o.msg,
+            }));
+        }
+    }
+
+    fn to_net(&self, node: NodeId, msg: ProtocolMsg) -> NetMessage<ProtocolMsg> {
+        let dest = match msg.kind {
+            MsgKind::BcastGetS | MsgKind::BcastGetM => {
+                let hnid = self.org.vms_id(msg.addr);
+                let group = self.vms_groups[&hnid];
+                Destination::Multicast(group)
+            }
+            _ => Destination::Unicast(msg.dst.node),
+        };
+        NetMessage {
+            src: node,
+            dest,
+            vn: msg.kind.virtual_network(),
+            size_bytes: msg.kind.size_bytes(),
+            payload: msg,
+        }
+    }
+
+    fn dispatch(&mut self, delivered: Delivered<ProtocolMsg>) {
+        let node = delivered.receiver;
+        let msg = delivered.msg.payload;
+        let idx = node.index();
+        let mut out = Vec::new();
+        match msg.dst.unit {
+            Unit::L1 => {
+                if let Some(fill) = self.l1s[idx].handle(msg, self.now, &mut out) {
+                    let latency = fill.completed_at.saturating_sub(fill.issued_at);
+                    self.miss_latency_sum += latency;
+                    self.miss_latency_count += 1;
+                    if fill.source == ResponseSource::Home {
+                        self.l2_hit_latency_sum += latency;
+                        self.l2_hit_latency_count += 1;
+                    }
+                    self.cores[idx].on_fill();
+                }
+            }
+            Unit::L2 => self.l2s[idx].handle(msg, self.now, &mut out),
+            Unit::Dir => {
+                self.dirs
+                    .get_mut(&node)
+                    .expect("directory at memory-controller node")
+                    .handle(msg, self.now, &mut out);
+            }
+            Unit::Mem => {
+                self.mems
+                    .get_mut(&node)
+                    .expect("memory controller node")
+                    .handle(msg, self.now, &mut out);
+            }
+        }
+        self.schedule(node, out);
+    }
+
+    /// Advances the system by one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        let model_barriers = self.cfg.full_system;
+
+        // 1. Cores issue instructions.
+        let mut completed_barriers: Vec<(usize, u32)> = Vec::new();
+        for i in 0..self.cores.len() {
+            let mut out = Vec::new();
+            let status = self.cores[i].tick(now, &mut self.l1s[i], &mut out, model_barriers);
+            if let CoreStatus::AtBarrier(id) = status {
+                let group = self.cores[i].group();
+                if self.barriers.arrive(group, id, i) {
+                    completed_barriers.push((group, id));
+                }
+            }
+            if !out.is_empty() {
+                self.schedule(NodeId(i as u16), out);
+            }
+        }
+        for (group, id) in completed_barriers {
+            for core_idx in self.barriers.release(group, id) {
+                self.cores[core_idx].on_barrier_release();
+            }
+            // Also release any cores of the group that arrive exactly now
+            // (handled next cycle through the tracker being empty is fine:
+            // they re-register and form the next barrier instance).
+        }
+
+        // 2. Messages whose local processing delay elapsed are injected.
+        let mut to_inject: Vec<NetMessage<ProtocolMsg>> = Vec::new();
+        while let Some(Reverse(p)) = self.pending.peek() {
+            if p.ready > now {
+                break;
+            }
+            let Reverse(p) = self.pending.pop().expect("peeked element");
+            to_inject.push(self.to_net(p.node, p.msg));
+        }
+        // Retries first (older messages), then the newly ready ones.
+        let mut still_waiting = VecDeque::new();
+        while let Some(m) = self.retry.pop_front() {
+            if self.network.inject(m.clone()).is_err() {
+                still_waiting.push_back(m);
+            }
+        }
+        for m in to_inject {
+            if self.network.inject(m.clone()).is_err() {
+                still_waiting.push_back(m);
+            }
+        }
+        self.retry = still_waiting;
+
+        // 3. Memory controllers release DRAM responses whose latency elapsed.
+        let mem_nodes: Vec<NodeId> = self.mems.keys().copied().collect();
+        for node in mem_nodes {
+            let mut out = Vec::new();
+            self.mems
+                .get_mut(&node)
+                .expect("memory controller")
+                .tick(now, &mut out);
+            if !out.is_empty() {
+                self.schedule(node, out);
+            }
+        }
+
+        // 4. The fabric advances one cycle and deliveries are dispatched.
+        self.network.tick();
+        for delivered in self.network.eject_all() {
+            self.dispatch(delivered);
+        }
+
+        self.now += 1;
+    }
+
+    /// Runs until every core finishes or `max_cycles` elapse, and returns
+    /// the aggregated results.
+    pub fn run(&mut self, max_cycles: u64) -> SimResults {
+        while !self.all_finished() && self.now < max_cycles {
+            self.step();
+        }
+        self.results()
+    }
+
+    /// Assembles the results accumulated so far.
+    pub fn results(&self) -> SimResults {
+        let mut cache = CacheStats::default();
+        for l1 in &self.l1s {
+            cache.merge(l1.stats());
+        }
+        for l2 in &self.l2s {
+            cache.merge(l2.stats());
+        }
+        for dir in self.dirs.values() {
+            cache.merge(dir.stats());
+        }
+        for mem in self.mems.values() {
+            cache.merge(mem.stats());
+        }
+        cache.instructions = self.cores.iter().map(CoreModel::instructions).sum();
+        cache.l2_hit_latency_sum = self.l2_hit_latency_sum;
+        cache.l2_hit_latency_count = self.l2_hit_latency_count;
+        let runtime = self
+            .cores
+            .iter()
+            .filter_map(CoreModel::finished_at)
+            .max()
+            .unwrap_or(self.now)
+            .max(
+                if self.all_finished() { 0 } else { self.now },
+            );
+        SimResults {
+            runtime_cycles: runtime,
+            completed: self.all_finished(),
+            avg_l2_hit_latency: if self.l2_hit_latency_count == 0 {
+                0.0
+            } else {
+                self.l2_hit_latency_sum as f64 / self.l2_hit_latency_count as f64
+            },
+            avg_miss_latency: if self.miss_latency_count == 0 {
+                0.0
+            } else {
+                self.miss_latency_sum as f64 / self.miss_latency_count as f64
+            },
+            avg_search_delay: cache.avg_search_delay(),
+            l2_mpki: cache.l2_mpki(),
+            offchip_accesses: cache.offchip_accesses(),
+            instructions: cache.instructions,
+            network: self.network.stats().clone(),
+            cache,
+        }
+    }
+
+    /// The memory-controller placement (exposed for tests and tools).
+    pub fn memory_map(&self) -> &MemoryMap {
+        &self.memmap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loco_cache::{ClusterShape, OrganizationKind};
+    use loco_noc::RouterKind;
+    use loco_workloads::{Benchmark, TraceGenerator};
+
+    /// A small 16-core system so the protocol tests stay fast.
+    fn small_cfg(org: OrganizationKind) -> SystemConfig {
+        let mut cfg = SystemConfig::asplos_64(org);
+        cfg.mesh_width = 4;
+        cfg.mesh_height = 4;
+        cfg.cluster = ClusterShape::new(2, 2);
+        cfg
+    }
+
+    fn small_traces(mem_ops: u64, cores: usize) -> Vec<CoreTrace> {
+        let spec = Benchmark::Lu.spec();
+        TraceGenerator::new(7).generate(&spec, cores, mem_ops)
+    }
+
+    #[test]
+    fn every_organization_runs_to_completion() {
+        for org in [
+            OrganizationKind::Private,
+            OrganizationKind::Shared,
+            OrganizationKind::LocoCc,
+            OrganizationKind::LocoCcVms,
+            OrganizationKind::LocoCcVmsIvr,
+        ] {
+            let cfg = small_cfg(org);
+            let mut sys = CmpSystem::new(cfg, small_traces(150, 16));
+            let r = sys.run(2_000_000);
+            assert!(r.completed, "{org:?} did not complete");
+            assert!(r.runtime_cycles > 0);
+            assert!(r.instructions > 16 * 150);
+            assert!(r.cache.l1_accesses >= 16 * 150);
+            assert!(r.offchip_accesses > 0, "{org:?} never touched memory");
+        }
+    }
+
+    #[test]
+    fn every_router_kind_runs_to_completion() {
+        for router in [RouterKind::Smart, RouterKind::Conventional, RouterKind::HighRadix] {
+            let cfg = small_cfg(OrganizationKind::LocoCcVms).with_router(router);
+            let mut sys = CmpSystem::new(cfg, small_traces(120, 16));
+            let r = sys.run(2_000_000);
+            assert!(r.completed, "{router:?} did not complete");
+        }
+    }
+
+    #[test]
+    fn shared_lines_are_found_on_chip_with_vms() {
+        let cfg = small_cfg(OrganizationKind::LocoCcVms);
+        let mut sys = CmpSystem::new(cfg, small_traces(400, 16));
+        let r = sys.run(4_000_000);
+        assert!(r.completed);
+        assert!(r.cache.broadcasts > 0, "VMS broadcasts must occur");
+        assert!(
+            r.cache.remote_hits > 0,
+            "some data must be found in other clusters"
+        );
+        assert!(r.avg_search_delay > 0.0);
+    }
+
+    #[test]
+    fn ivr_migrations_happen_under_capacity_pressure() {
+        // Radix has a working set much larger than one L2 slice; with the
+        // slice shrunk to 4 KB the home nodes must evict, and with IVR those
+        // victims migrate to other clusters instead of being dropped.
+        let spec = Benchmark::Radix.spec();
+        let traces = TraceGenerator::new(3).generate(&spec, 16, 600);
+        let mut cfg = small_cfg(OrganizationKind::LocoCcVmsIvr);
+        cfg.l2.geometry.size_bytes = 4 * 1024;
+        let mut sys = CmpSystem::new(cfg, traces);
+        let r = sys.run(6_000_000);
+        assert!(r.completed);
+        assert!(r.cache.ivr_migrations > 0, "IVR must trigger migrations");
+        assert!(r.cache.ivr_accepted > 0, "some migrations must be accepted");
+    }
+
+    #[test]
+    fn smart_has_lower_l2_hit_latency_than_conventional() {
+        let traces = small_traces(300, 16);
+        let smart = {
+            let cfg = small_cfg(OrganizationKind::LocoCcVms);
+            CmpSystem::new(cfg, traces.clone()).run(4_000_000)
+        };
+        let conv = {
+            let cfg = small_cfg(OrganizationKind::LocoCcVms).with_router(RouterKind::Conventional);
+            CmpSystem::new(cfg, traces).run(4_000_000)
+        };
+        assert!(smart.completed && conv.completed);
+        assert!(
+            smart.avg_l2_hit_latency < conv.avg_l2_hit_latency,
+            "SMART {:.2} should beat conventional {:.2}",
+            smart.avg_l2_hit_latency,
+            conv.avg_l2_hit_latency
+        );
+        assert!(smart.runtime_cycles <= conv.runtime_cycles);
+    }
+
+    #[test]
+    fn full_system_mode_with_barriers_completes() {
+        let spec = Benchmark::Fft.spec();
+        let traces = TraceGenerator::new(9)
+            .with_barriers(true)
+            .generate(&spec, 16, 300);
+        let cfg = small_cfg(OrganizationKind::LocoCcVms).with_full_system(true);
+        let mut sys = CmpSystem::new(cfg, traces);
+        let r = sys.run(6_000_000);
+        assert!(r.completed, "barrier workload must not deadlock");
+    }
+
+    #[test]
+    fn empty_traces_finish_immediately() {
+        let cfg = small_cfg(OrganizationKind::Shared);
+        let mut sys = CmpSystem::new(cfg, vec![CoreTrace::default(); 16]);
+        let r = sys.run(100);
+        assert!(r.completed);
+        assert!(r.runtime_cycles <= 1);
+        assert_eq!(r.offchip_accesses, 0);
+    }
+
+    #[test]
+    fn private_cache_misses_more_than_shared_on_shared_data() {
+        // A sharing-dominated workload with the L2 slices shrunk to 8 KB:
+        // private per-tile L2s replicate the shared working set and thrash,
+        // while the shared LLC holds a single copy chip-wide (Figure 6).
+        let spec = loco_workloads::BenchmarkSpec::new(Benchmark::Barnes)
+            .private_lines(64)
+            .shared_lines(2048)
+            .shared_fraction(0.9)
+            .reuse(0.3)
+            .pattern(loco_workloads::SharingPattern::Global);
+        let traces = TraceGenerator::new(5).generate(&spec, 16, 600);
+        let mut pcfg = small_cfg(OrganizationKind::Private);
+        pcfg.l2.geometry.size_bytes = 8 * 1024;
+        let mut scfg = small_cfg(OrganizationKind::Shared);
+        scfg.l2.geometry.size_bytes = 8 * 1024;
+        let private = CmpSystem::new(pcfg, traces.clone()).run(8_000_000);
+        let shared = CmpSystem::new(scfg, traces).run(8_000_000);
+        assert!(private.completed && shared.completed);
+        assert!(
+            private.offchip_accesses > shared.offchip_accesses,
+            "private {} should exceed shared {}",
+            private.offchip_accesses,
+            shared.offchip_accesses
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the workload generator: determinism, trace
+//! shape, and address-space separation hold for arbitrary benchmark
+//! parameters, thread counts and seeds.
+
+use loco_workloads::{Benchmark, BenchmarkSpec, SharingPattern, TraceGenerator, TraceOp};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop_oneof![
+        Just(Benchmark::Barnes),
+        Just(Benchmark::Blackscholes),
+        Just(Benchmark::Lu),
+        Just(Benchmark::Radix),
+        Just(Benchmark::Swaptions),
+        Just(Benchmark::Fft),
+        Just(Benchmark::WaterSpatial),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator is a pure function of (spec, seed, threads, length).
+    #[test]
+    fn generation_is_deterministic(b in arb_benchmark(), seed in any::<u64>(), threads in 1usize..9, ops in 1u64..400) {
+        let spec = b.spec();
+        let x = TraceGenerator::new(seed).generate(&spec, threads, ops);
+        let y = TraceGenerator::new(seed).generate(&spec, threads, ops);
+        prop_assert_eq!(x, y);
+    }
+
+    /// Every generated trace has exactly the requested number of memory
+    /// operations, at least that many instructions, and addresses aligned to
+    /// the 32-byte line size... (addresses are line-granular by design).
+    #[test]
+    fn trace_shape_is_consistent(b in arb_benchmark(), seed in any::<u64>(), threads in 1usize..5, ops in 1u64..300) {
+        let spec = b.spec();
+        let traces = TraceGenerator::new(seed).generate(&spec, threads, ops);
+        prop_assert_eq!(traces.len(), threads);
+        for t in &traces {
+            prop_assert_eq!(t.memory_ops(), ops);
+            prop_assert!(t.instructions() >= ops);
+            for op in t.ops() {
+                if let TraceOp::Read(a) | TraceOp::Write(a) = op {
+                    prop_assert_eq!(a % 32, 0, "addresses are line aligned");
+                }
+            }
+        }
+    }
+
+    /// The store fraction of the generated trace tracks the spec within a
+    /// loose statistical tolerance.
+    #[test]
+    fn write_fraction_is_respected(seed in any::<u64>(), wf in 0.05f64..0.95) {
+        let spec = BenchmarkSpec::new(Benchmark::Lu).write_fraction(wf);
+        let traces = TraceGenerator::new(seed).generate(&spec, 1, 3_000);
+        let writes = traces[0]
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Write(_)))
+            .count() as f64;
+        let measured = writes / 3_000.0;
+        prop_assert!((measured - wf).abs() < 0.08, "asked {wf:.2}, measured {measured:.2}");
+    }
+
+    /// Purely-private benchmarks (shared fraction zero) never produce an
+    /// address shared by two threads, regardless of the sharing pattern.
+    #[test]
+    fn zero_shared_fraction_means_disjoint_threads(
+        seed in any::<u64>(),
+        threads in 2usize..6,
+        pattern in prop_oneof![Just(SharingPattern::Neighbor), Just(SharingPattern::Global)],
+    ) {
+        let spec = BenchmarkSpec::new(Benchmark::Swaptions)
+            .shared_fraction(0.0)
+            .pattern(pattern)
+            .private_lines(256);
+        let traces = TraceGenerator::new(seed).generate(&spec, threads, 500);
+        let mut seen: Vec<HashSet<u64>> = Vec::new();
+        for t in &traces {
+            let lines: HashSet<u64> = t
+                .ops()
+                .iter()
+                .filter_map(|o| match o {
+                    TraceOp::Read(a) | TraceOp::Write(a) => Some(a / 32),
+                    _ => None,
+                })
+                .collect();
+            for other in &seen {
+                prop_assert!(lines.is_disjoint(other));
+            }
+            seen.push(lines);
+        }
+    }
+
+    /// Task offsets give disjoint address spaces for any pair of task ids.
+    #[test]
+    fn task_offsets_never_collide(seed in any::<u64>(), t1 in 0u64..64, t2 in 0u64..64) {
+        prop_assume!(t1 != t2);
+        let spec = Benchmark::Barnes.spec();
+        let a = TraceGenerator::new(seed).with_task_offset(t1).generate(&spec, 1, 300);
+        let b = TraceGenerator::new(seed).with_task_offset(t2).generate(&spec, 1, 300);
+        let lines = |t: &loco_workloads::CoreTrace| -> HashSet<u64> {
+            t.ops()
+                .iter()
+                .filter_map(|o| match o {
+                    TraceOp::Read(a) | TraceOp::Write(a) => Some(*a),
+                    _ => None,
+                })
+                .collect()
+        };
+        prop_assert!(lines(&a[0]).is_disjoint(&lines(&b[0])));
+    }
+}

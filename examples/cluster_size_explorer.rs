@@ -1,0 +1,48 @@
+//! Cluster-size exploration (the scenario behind Figure 14): sweep LOCO's
+//! cluster shape for a few benchmark models and report the latency /
+//! miss-rate / runtime trade-off, showing that the best cluster size is
+//! application-dependent.
+//!
+//! ```text
+//! cargo run --release -p loco --example cluster_size_explorer
+//! ```
+
+use loco::{Benchmark, ClusterShape, OrganizationKind, RouterKind, SimulationBuilder};
+
+fn main() {
+    let shapes = [
+        ClusterShape::new(4, 1),
+        ClusterShape::new(8, 1),
+        ClusterShape::new(4, 4),
+    ];
+    let benchmarks = [Benchmark::Swaptions, Benchmark::WaterSpatial, Benchmark::Radix];
+    println!("LOCO cluster-size exploration — 64 cores, SMART NoC (HPCmax=4)\n");
+    println!(
+        "{:<16} {:>10} {:>14} {:>10} {:>14}",
+        "benchmark", "cluster", "hit lat (cyc)", "MPKI", "runtime (cyc)"
+    );
+    for &benchmark in &benchmarks {
+        for &shape in &shapes {
+            let r = SimulationBuilder::new()
+                .benchmark(benchmark)
+                .organization(OrganizationKind::LocoCcVmsIvr)
+                .router(RouterKind::Smart)
+                .cluster(shape.w, shape.h)
+                .memory_ops_per_core(800)
+                .run();
+            assert!(r.completed);
+            println!(
+                "{:<16} {:>7}x{:<2} {:>14.2} {:>10.2} {:>14}",
+                benchmark.name(),
+                shape.w,
+                shape.h,
+                r.avg_l2_hit_latency,
+                r.l2_mpki,
+                r.runtime_cycles
+            );
+        }
+        println!();
+    }
+    println!("Smaller clusters lower hit latency but raise the miss rate;");
+    println!("the best choice depends on the benchmark (Figure 14 of the paper).");
+}

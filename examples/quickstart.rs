@@ -1,0 +1,66 @@
+//! Quickstart: run one benchmark model on the paper's 64-core LOCO
+//! configuration and print the headline statistics.
+//!
+//! ```text
+//! cargo run --release -p loco --example quickstart
+//! ```
+
+use loco::{Benchmark, OrganizationKind, SimulationBuilder};
+
+fn main() {
+    // The paper's full LOCO design (clusters + VMS broadcasts + IVR) on the
+    // 64-core CMP of Table 1, replaying the `lu` benchmark model.
+    let loco = SimulationBuilder::new()
+        .benchmark(Benchmark::Lu)
+        .memory_ops_per_core(1_000)
+        .organization(OrganizationKind::LocoCcVmsIvr)
+        .run();
+
+    // The distributed-shared-cache baseline on the same traces.
+    let shared = SimulationBuilder::new()
+        .benchmark(Benchmark::Lu)
+        .memory_ops_per_core(1_000)
+        .organization(OrganizationKind::Shared)
+        .run();
+
+    println!("LOCO CC+VMS+IVR vs Shared Cache — lu, 64 cores, SMART NoC");
+    println!("----------------------------------------------------------");
+    println!(
+        "runtime            : {:>10} vs {:>10} cycles  ({:.1}% reduction)",
+        loco.runtime_cycles,
+        shared.runtime_cycles,
+        100.0 * (1.0 - loco.runtime_cycles as f64 / shared.runtime_cycles as f64)
+    );
+    println!(
+        "avg L2 hit latency : {:>10.2} vs {:>10.2} cycles",
+        loco.avg_l2_hit_latency, shared.avg_l2_hit_latency
+    );
+    println!(
+        "L2 MPKI            : {:>10.2} vs {:>10.2}",
+        loco.l2_mpki, shared.l2_mpki
+    );
+    println!(
+        "off-chip accesses  : {:>10} vs {:>10}",
+        loco.offchip_accesses, shared.offchip_accesses
+    );
+    println!(
+        "  fetches / wbacks : {:>4} / {:<4} vs {:>4} / {:<4}",
+        loco.cache.offchip_fetches,
+        loco.cache.offchip_writebacks,
+        shared.cache.offchip_fetches,
+        shared.cache.offchip_writebacks
+    );
+    println!(
+        "VMS broadcasts     : {:>10}   (remote hits {})",
+        loco.cache.broadcasts, loco.cache.remote_hits
+    );
+    println!(
+        "IVR migrations     : {:>10}   (accepted {}, denied {})",
+        loco.cache.ivr_migrations, loco.cache.ivr_accepted, loco.cache.ivr_denied
+    );
+    println!(
+        "network avg latency: {:>10.2} cycles over {} delivered messages",
+        loco.network.avg_latency(),
+        loco.network.delivered_copies
+    );
+}

@@ -1,0 +1,120 @@
+//! Integration tests of the experiment runner: every figure function
+//! produces well-formed output at the quick scale, and the headline trends
+//! of the paper hold.
+
+use loco::{Benchmark, ClusterShape, ExperimentParams, Runner};
+
+fn quick_runner() -> Runner {
+    Runner::new(ExperimentParams::quick())
+}
+
+const BENCHES: [Benchmark; 2] = [Benchmark::Lu, Benchmark::Barnes];
+
+fn assert_finite(fig: &loco::Figure) {
+    for s in &fig.series {
+        assert_eq!(s.values.len(), fig.x_labels.len(), "{}", fig.id);
+        for v in &s.values {
+            assert!(v.is_finite() && *v >= 0.0, "{}: bad value {v}", fig.id);
+        }
+    }
+}
+
+#[test]
+fn fig06_through_fig11_are_well_formed() {
+    let mut r = quick_runner();
+    let figs = vec![
+        r.fig06_private_vs_shared(&BENCHES),
+        r.fig07_l2_hit_latency(&BENCHES),
+        r.fig08_mpki(&BENCHES),
+        r.fig09_search_delay(&BENCHES),
+        r.fig10_offchip(&BENCHES),
+        r.fig11_runtime(&BENCHES),
+    ];
+    for fig in &figs {
+        assert_finite(fig);
+        assert_eq!(*fig.x_labels.last().unwrap(), "AVG");
+        assert!(!fig.to_text_table().is_empty());
+    }
+    // Memoization keeps the total number of distinct simulations bounded:
+    // 5 organizations x 2 benchmarks.
+    assert!(r.simulations_run() <= 10, "ran {}", r.simulations_run());
+}
+
+#[test]
+fn vms_broadcast_cuts_search_delay_versus_directory_indirection() {
+    // Figure 9's headline: VMS reduces the on-chip search cost.
+    let mut r = quick_runner();
+    let fig = r.fig09_search_delay(&[Benchmark::Barnes, Benchmark::Fft]);
+    let cc = fig.average_of("LOCO CC").unwrap();
+    let vms = fig.average_of("LOCO CC+VMS").unwrap();
+    assert!(
+        vms < cc,
+        "VMS search delay {vms:.1} should undercut the directory's {cc:.1}"
+    );
+}
+
+#[test]
+fn loco_average_runtime_improves_on_shared() {
+    // Figure 11's headline: LOCO (full) reduces run time on average. At the
+    // 16-core quick scale the margin is small, so only a mild improvement is
+    // required here; the paper-scale (64-core) claim is asserted in
+    // `integration_system::loco_runtime_beats_the_shared_baseline_...`.
+    let mut r = quick_runner();
+    let fig = r.fig11_runtime(&[Benchmark::Lu, Benchmark::Blackscholes, Benchmark::WaterSpatial]);
+    let shared = fig.average_of("Shared Cache").unwrap();
+    let loco = fig.average_of("LOCO CC+VMS+IVR").unwrap();
+    assert!((shared - 1.0).abs() < 1e-9);
+    assert!(
+        loco < 1.05,
+        "LOCO normalized runtime {loco:.3} should not regress the shared baseline"
+    );
+}
+
+#[test]
+fn noc_comparison_figures_rank_smart_first() {
+    let mut r = quick_runner();
+    let fig13 = r.fig13_noc_runtime(&[Benchmark::Lu]);
+    let smart = fig13.average_of("LOCO + SMART NoC").unwrap();
+    let conv = fig13.average_of("LOCO + Conventional NoC").unwrap();
+    assert!(smart <= conv, "SMART {smart:.3} vs conventional {conv:.3}");
+    let fig12 = r.fig12_l2_latency(&[Benchmark::Lu]);
+    let smart_lat = fig12.average_of("LOCO + SMART NoC").unwrap();
+    let hr_lat = fig12.average_of("LOCO + High-Radix Routers").unwrap();
+    assert!(smart_lat <= hr_lat);
+}
+
+#[test]
+fn cluster_size_figures_cover_all_shapes() {
+    let mut r = quick_runner();
+    let shapes = [ClusterShape::new(2, 1), ClusterShape::new(2, 2)];
+    let figs = r.fig14_cluster_size(&[Benchmark::Lu], &shapes);
+    assert_eq!(figs.len(), 4);
+    for fig in &figs {
+        assert_eq!(fig.series.len(), 2);
+        assert_finite(fig);
+    }
+    // Smaller clusters -> lower hit latency (Figure 14a's trend).
+    let small = figs[0].average_of("Cluster Size:2x1").unwrap();
+    let large = figs[0].average_of("Cluster Size:2x2").unwrap();
+    assert!(small <= large + 1.0, "2x1 {small:.2} vs 2x2 {large:.2}");
+}
+
+#[test]
+fn fullsystem_figures_are_well_formed() {
+    let mut r = quick_runner();
+    let mpki = r.fig16_mpki(&[Benchmark::Lu]);
+    let runtime = r.fig16_runtime(&[Benchmark::Lu]);
+    assert_finite(&mpki);
+    assert_finite(&runtime);
+    assert_eq!(runtime.series.len(), 3);
+}
+
+#[test]
+fn multiprogram_figure_reports_all_three_organizations() {
+    let mut r = quick_runner();
+    let (off, run) = r.fig15_multiprogram(&[1]);
+    assert_finite(&off);
+    assert_finite(&run);
+    let labels: Vec<&str> = off.series.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(labels, vec!["Shared Cache", "Clustered Cache", "LOCO CC+VMS+IVR"]);
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration tests on the paper's 64-core configuration
+//! (shortened traces): the qualitative relationships between the cache
+//! organizations that every figure of the paper relies on.
+
+use loco::{Benchmark, OrganizationKind, RouterKind, SimulationBuilder};
+
+fn run_64(benchmark: Benchmark, org: OrganizationKind, mem_ops: u64) -> loco::SimResults {
+    let r = SimulationBuilder::new()
+        .benchmark(benchmark)
+        .organization(org)
+        .memory_ops_per_core(mem_ops)
+        .run();
+    assert!(r.completed, "{org:?} on {benchmark:?} did not complete");
+    r
+}
+
+#[test]
+fn all_five_organizations_complete_on_the_64_core_cmp() {
+    for org in [
+        OrganizationKind::Private,
+        OrganizationKind::Shared,
+        OrganizationKind::LocoCc,
+        OrganizationKind::LocoCcVms,
+        OrganizationKind::LocoCcVmsIvr,
+    ] {
+        let r = run_64(Benchmark::Blackscholes, org, 200);
+        assert!(r.runtime_cycles > 0);
+        assert!(r.instructions >= 64 * 200);
+        assert!(r.cache.l1_accesses >= 64 * 200);
+    }
+}
+
+#[test]
+fn loco_l2_hit_latency_sits_between_private_and_shared() {
+    // Figure 7: private < LOCO << shared for L2 hit latency.
+    let private = run_64(Benchmark::Lu, OrganizationKind::Private, 400);
+    let loco = run_64(Benchmark::Lu, OrganizationKind::LocoCcVmsIvr, 400);
+    let shared = run_64(Benchmark::Lu, OrganizationKind::Shared, 400);
+    assert!(
+        private.avg_l2_hit_latency < loco.avg_l2_hit_latency,
+        "private {:.2} < loco {:.2}",
+        private.avg_l2_hit_latency,
+        loco.avg_l2_hit_latency
+    );
+    assert!(
+        loco.avg_l2_hit_latency < shared.avg_l2_hit_latency,
+        "loco {:.2} < shared {:.2}",
+        loco.avg_l2_hit_latency,
+        shared.avg_l2_hit_latency
+    );
+}
+
+#[test]
+fn loco_runtime_beats_the_shared_baseline_on_neighbor_benchmarks() {
+    // Figure 11: LOCO reduces run time relative to the shared cache.
+    let shared = run_64(Benchmark::Lu, OrganizationKind::Shared, 400);
+    let loco = run_64(Benchmark::Lu, OrganizationKind::LocoCcVmsIvr, 400);
+    assert!(
+        loco.runtime_cycles < shared.runtime_cycles,
+        "LOCO {} should beat shared {}",
+        loco.runtime_cycles,
+        shared.runtime_cycles
+    );
+}
+
+#[test]
+fn vms_broadcasts_and_remote_hits_occur_on_shared_data() {
+    let loco = run_64(Benchmark::Barnes, OrganizationKind::LocoCcVms, 400);
+    assert!(loco.cache.broadcasts > 0);
+    assert!(loco.cache.remote_hits > 0);
+    assert!(loco.avg_search_delay > 0.0);
+}
+
+#[test]
+fn smart_noc_outperforms_conventional_noc_for_loco() {
+    // Figure 13: LOCO + SMART vs LOCO + conventional NoC.
+    let smart = SimulationBuilder::new()
+        .benchmark(Benchmark::Barnes)
+        .organization(OrganizationKind::LocoCcVmsIvr)
+        .router(RouterKind::Smart)
+        .memory_ops_per_core(300)
+        .run();
+    let conv = SimulationBuilder::new()
+        .benchmark(Benchmark::Barnes)
+        .organization(OrganizationKind::LocoCcVmsIvr)
+        .router(RouterKind::Conventional)
+        .memory_ops_per_core(300)
+        .run();
+    assert!(smart.completed && conv.completed);
+    assert!(smart.avg_l2_hit_latency < conv.avg_l2_hit_latency);
+    assert!(smart.runtime_cycles < conv.runtime_cycles);
+}
+
+#[test]
+fn high_radix_routers_hurt_l2_hit_latency() {
+    // Figure 12a: the 4-stage high-radix pipeline raises intra-cluster hit
+    // latency above SMART's.
+    let smart = SimulationBuilder::new()
+        .benchmark(Benchmark::Lu)
+        .router(RouterKind::Smart)
+        .memory_ops_per_core(300)
+        .run();
+    let hr = SimulationBuilder::new()
+        .benchmark(Benchmark::Lu)
+        .router(RouterKind::HighRadix)
+        .memory_ops_per_core(300)
+        .run();
+    assert!(smart.avg_l2_hit_latency < hr.avg_l2_hit_latency);
+}
+
+#[test]
+fn the_256_core_configuration_runs() {
+    let r = SimulationBuilder::new()
+        .mesh(16, 16)
+        .benchmark(Benchmark::Blackscholes)
+        .memory_ops_per_core(60)
+        .run();
+    assert!(r.completed);
+    assert!(r.instructions >= 256 * 60);
+}
