@@ -6,7 +6,8 @@
 //!
 //! These correspond to the "design choices" called out in DESIGN.md §7.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loco_bench::timing::{BenchmarkId, Criterion};
+use loco_bench::{bench_group, bench_main};
 use loco::{Benchmark, OrganizationKind, SimulationBuilder};
 
 fn loco_run(hpc_max: u16, ivr_threshold: u8, mem_ops: u64) -> u64 {
@@ -45,5 +46,5 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+bench_group!(benches, bench);
+bench_main!(benches);

@@ -2,7 +2,8 @@
 //! shared cache. `cargo bench` times a reduced (16-core) campaign; the
 //! full-scale numbers come from the `reproduce` binary.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use loco_bench::timing::Criterion;
+use loco_bench::{bench_group, bench_main};
 use loco::{ExperimentParams, Runner};
 use loco_bench::{benchmarks_for, Scale};
 
@@ -20,5 +21,5 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+bench_group!(benches, bench);
+bench_main!(benches);

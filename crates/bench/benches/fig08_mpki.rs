@@ -1,6 +1,7 @@
 //! Figure 8: L2 misses per thousand instructions, shared cache vs LOCO.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use loco_bench::timing::Criterion;
+use loco_bench::{bench_group, bench_main};
 use loco::{ExperimentParams, Runner};
 use loco_bench::{benchmarks_for, Scale};
 
@@ -16,5 +17,5 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+bench_group!(benches, bench);
+bench_main!(benches);

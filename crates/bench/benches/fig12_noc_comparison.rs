@@ -1,7 +1,8 @@
 //! Figure 12: LOCO's memory latency (L2 hit latency and global search
 //! delay) under SMART, conventional and high-radix NoCs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use loco_bench::timing::Criterion;
+use loco_bench::{bench_group, bench_main};
 use loco::{ExperimentParams, Runner};
 use loco_bench::{benchmarks_for, Scale};
 
@@ -20,5 +21,5 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+bench_group!(benches, bench);
+bench_main!(benches);

@@ -1,6 +1,7 @@
 //! Figure 15: multi-program consolidation workloads of Table 2.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use loco_bench::timing::Criterion;
+use loco_bench::{bench_group, bench_main};
 use loco::{ExperimentParams, Runner};
 
 fn bench(c: &mut Criterion) {
@@ -15,5 +16,5 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+bench_group!(benches, bench);
+bench_main!(benches);

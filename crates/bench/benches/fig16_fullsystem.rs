@@ -1,6 +1,7 @@
 //! Figure 16: full-system (synchronization-aware) simulation of LOCO.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use loco_bench::timing::Criterion;
+use loco_bench::{bench_group, bench_main};
 use loco::{ExperimentParams, Runner};
 use loco_bench::{fullsystem_benchmarks_for, Scale};
 
@@ -19,5 +20,5 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+bench_group!(benches, bench);
+bench_main!(benches);

@@ -2,7 +2,8 @@
 //! the three router micro-architectures (the raw numbers behind Section 2's
 //! "8 cycles vs 28 cycles corner-to-corner" argument).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loco_bench::timing::{BenchmarkId, Criterion};
+use loco_bench::{bench_group, bench_main};
 use loco_noc::{NetMessage, Network, NocConfig, NodeId, VirtualNetwork};
 
 fn corner_to_corner(cfg: NocConfig) -> u64 {
@@ -41,5 +42,5 @@ fn bench(c: &mut Criterion) {
     assert!(smart * 2 <= conv, "SMART {smart} vs conventional {conv}");
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+bench_group!(benches, bench);
+bench_main!(benches);

@@ -5,14 +5,16 @@
 //! * the `reproduce` binary regenerates every table and figure of the
 //!   paper's evaluation (`cargo run --release -p loco-bench --bin reproduce
 //!   -- --help`),
-//! * the Criterion benches under `benches/` time a reduced version of each
-//!   figure's simulation campaign so that `cargo bench` exercises every
-//!   experiment end to end.
+//! * the benches under `benches/` (built on the in-tree [`timing`] harness)
+//!   time a reduced version of each figure's simulation campaign so that
+//!   `cargo bench` exercises every experiment end to end.
 //!
 //! The library part only hosts shared helpers for those two front-ends.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use loco::{Benchmark, ExperimentParams};
 

@@ -1,0 +1,223 @@
+//! A tiny in-tree timing harness with a Criterion-shaped API.
+//!
+//! The workspace builds offline with an empty crate registry, so the benches
+//! cannot use the `criterion` crate. This module provides the small subset
+//! of its API the `benches/` targets need — [`Criterion::benchmark_group`],
+//! [`BenchGroup::bench_function`] / [`BenchGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId::from_parameter`] — backed by plain
+//! `std::time::Instant` sampling, plus the [`bench_group!`](crate::bench_group)
+//! / [`bench_main!`](crate::bench_main) macros replacing `criterion_group!` /
+//! `criterion_main!`.
+//!
+//! Every bench target sets `harness = false`, so `cargo bench` runs these
+//! `main`s directly. A positional command-line argument filters benchmarks
+//! by substring (`cargo bench --bench noc_microbench -- smart`), and
+//! `LOCO_BENCH_SAMPLES` overrides the per-benchmark sample count.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state shared by all groups of one bench binary.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    sample_override: Option<usize>,
+}
+
+impl Criterion {
+    /// Builds the harness from `std::env` (CLI filter, sample override).
+    ///
+    /// Flags (anything starting with `-`, e.g. the `--bench` cargo passes to
+    /// the target) are ignored; the first bare argument is a substring
+    /// filter on `group/id` names.
+    pub fn from_env() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let sample_override = std::env::var("LOCO_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok());
+        Criterion {
+            filter,
+            sample_override,
+        }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
+        BenchGroup {
+            harness: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchGroup<'a> {
+    harness: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs (and times) one benchmark closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for Criterion API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.harness.sample_override.unwrap_or(self.sample_size),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&full, &bencher.samples);
+    }
+}
+
+/// A formatted benchmark identifier (`BenchmarkId::from_parameter(4)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from any displayable parameter value.
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `sample_size` executions of `f` (after one untimed warm-up).
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples collected)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{name:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+        samples.len()
+    );
+}
+
+/// Replaces `criterion_group!`: bundles bench functions into one group
+/// function callable from [`bench_main!`](crate::bench_main).
+#[macro_export]
+macro_rules! bench_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::timing::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Replaces `criterion_main!`: generates the bench binary's `main`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::timing::Criterion::from_env();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_the_requested_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            samples: Vec::new(),
+        };
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(runs, 6, "5 samples + 1 warm-up");
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_its_parameter() {
+        assert_eq!(BenchmarkId::from_parameter(4).to_string(), "4");
+        assert_eq!(BenchmarkId::from_parameter("smart_8x8").to_string(), "smart_8x8");
+    }
+
+    #[test]
+    fn groups_run_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            sample_override: Some(1),
+        };
+        let mut ran = Vec::new();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("keep_me", |b| b.iter(|| ran.push("keep")));
+        group.finish();
+        // A fresh group is needed because `ran` is re-borrowed.
+        let mut ran2 = Vec::new();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("skip_me", |b| b.iter(|| ran2.push("skip")));
+        group.finish();
+        assert!(!ran.is_empty());
+        assert!(ran2.is_empty(), "filtered-out benchmark must not run");
+    }
+}

@@ -3,10 +3,10 @@
 //! inter-cluster victim-replacement age comparison of Section 3.3).
 
 use crate::address::LineAddr;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of a cache array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -58,7 +58,8 @@ impl CacheGeometry {
 }
 
 /// One resident cache line with caller-defined metadata `M`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Entry<M> {
     /// The line address stored in this way.
     pub addr: LineAddr,
@@ -82,7 +83,8 @@ pub enum Eviction<M> {
 /// The array is indexed externally: callers provide the set index (computed
 /// from the address map of the organization in use) so the same array type
 /// serves private, shared and LOCO slices.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheArray<M> {
     geometry: CacheGeometry,
     sets: Vec<Vec<Entry<M>>>,

@@ -19,9 +19,7 @@ use crate::line::{MoesiState, SharerSet};
 use crate::msg::{Agent, MsgKind, Outgoing, ProtocolMsg, ResponseSource};
 use crate::organization::{MemoryMap, Organization};
 use crate::stats::CacheStats;
-use loco_noc::NodeId;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use loco_noc::{NodeId, SplitMix64};
 use std::collections::HashMap;
 
 /// Tunables of the home-node controller beyond the array geometry.
@@ -133,7 +131,7 @@ pub struct L2Controller {
     array: CacheArray<L2Meta>,
     mshrs: HashMap<LineAddr, Mshr>,
     stats: CacheStats,
-    rng: SmallRng,
+    rng: SplitMix64,
 }
 
 impl L2Controller {
@@ -147,7 +145,7 @@ impl L2Controller {
             array: CacheArray::new(cfg.geometry),
             mshrs: HashMap::new(),
             stats: CacheStats::default(),
-            rng: SmallRng::seed_from_u64(0x10c0 ^ node.index() as u64),
+            rng: SplitMix64::new(0x10c0 ^ node.index() as u64),
         }
     }
 
@@ -792,7 +790,7 @@ impl L2Controller {
             self.stats.ivr_migrations += 1;
             let my_cluster = self.org.cluster_of(self.node);
             let n = self.org.num_clusters();
-            let mut target = self.rng.gen_range(0..n);
+            let mut target = self.rng.index(n);
             if target == my_cluster {
                 target = (target + 1) % n;
             }
@@ -901,7 +899,7 @@ impl L2Controller {
             }
             let my_cluster = self.org.cluster_of(self.node);
             let n = self.org.num_clusters();
-            let mut target = self.rng.gen_range(0..n);
+            let mut target = self.rng.index(n);
             if target == my_cluster {
                 target = (target + 1) % n;
             }

@@ -1,10 +1,10 @@
 //! Coherence states (MSI for L1, MOESI for L2) and sharer-set bit-vectors.
 
 use loco_noc::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// L1 cache-line states (Table 1: MSI for the L1 cache).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MsiState {
     /// Invalid.
     #[default]
@@ -28,7 +28,8 @@ impl MsiState {
 }
 
 /// L2 cache-line states (Table 1: MOESI for the L2 cache).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MoesiState {
     /// Invalid.
     #[default]
@@ -77,7 +78,8 @@ impl MoesiState {
 
 /// A bit-vector of sharer nodes, sized for up to 256 tiles (the largest CMP
 /// evaluated in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SharerSet {
     bits: [u64; 4],
 }

@@ -9,10 +9,10 @@
 use crate::address::LineAddr;
 use crate::line::MoesiState;
 use loco_noc::{NodeId, VirtualNetwork};
-use serde::{Deserialize, Serialize};
 
 /// The unit within a tile that a protocol message addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Unit {
     /// The per-core L1 controller.
     L1,
@@ -25,7 +25,8 @@ pub enum Unit {
 }
 
 /// A protocol endpoint: a unit at a node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Agent {
     /// Tile the unit lives on.
     pub node: NodeId,
@@ -63,7 +64,8 @@ impl Agent {
 /// Where the data that satisfied a request came from; carried on the final
 /// data grant to the L1 so the simulator can attribute latency to the right
 /// histogram (L2-hit latency vs. on-chip search vs. off-chip access).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ResponseSource {
     /// The line was resident at the requester's home L2 (an "L2 hit").
     Home,
@@ -79,7 +81,8 @@ pub enum ResponseSource {
 /// between L1s and their home L2; the second group is the global (second
 /// level) protocol between home L2s, the global directory and memory; the
 /// last group implements inter-cluster victim replacement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MsgKind {
     // ---- L1 <-> home L2 (first-level protocol) ----
     /// L1 read miss.
@@ -222,7 +225,8 @@ impl MsgKind {
 }
 
 /// A protocol message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProtocolMsg {
     /// The cache line this message concerns.
     pub addr: LineAddr,

@@ -13,11 +13,11 @@ use loco_cache::{ClusterShape, OrganizationKind};
 use loco_noc::RouterKind;
 use loco_sim::{CmpSystem, SimResults, SystemConfig};
 use loco_workloads::{Benchmark, MultiProgramWorkload, TraceGenerator};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Scale parameters of an experiment campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExperimentParams {
     /// Mesh width in tiles.
     pub mesh_width: u16,

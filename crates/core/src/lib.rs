@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 
 pub use experiments::{ExperimentParams, Runner};

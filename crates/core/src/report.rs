@@ -6,11 +6,12 @@
 //! aligned text tables (for the `reproduce` binary and EXPERIMENTS.md) and
 //! serialize to JSON.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, ParseError, Value};
 use std::fmt;
 
 /// One labelled series of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Series {
     /// Legend label (matches the paper's legends, e.g. "LOCO CC+VMS").
     pub label: String,
@@ -38,7 +39,8 @@ impl Series {
 }
 
 /// A reproduced figure (or table) of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Figure {
     /// Identifier, e.g. "fig11a".
     pub id: String,
@@ -132,7 +134,98 @@ impl Figure {
 
     /// Serializes the figure to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serializes")
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("label".into(), Value::String(s.label.clone())),
+                    (
+                        "values".into(),
+                        Value::Array(s.values.iter().map(|&v| Value::Number(v)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("id".into(), Value::String(self.id.clone())),
+            ("title".into(), Value::String(self.title.clone())),
+            ("y_label".into(), Value::String(self.y_label.clone())),
+            (
+                "x_labels".into(),
+                Value::Array(
+                    self.x_labels
+                        .iter()
+                        .map(|l| Value::String(l.clone()))
+                        .collect(),
+                ),
+            ),
+            ("series".into(), Value::Array(series)),
+        ])
+        .to_pretty()
+    }
+
+    /// Deserializes a figure previously emitted by [`Figure::to_json`].
+    pub fn from_json(text: &str) -> Result<Figure, ParseError> {
+        let doc = json::parse(text)?;
+        let field_err = |what: &str| ParseError {
+            offset: 0,
+            message: format!("figure document is missing or mistypes '{what}'"),
+        };
+        let string_of = |key: &str| -> Result<String, ParseError> {
+            doc.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| field_err(key))
+        };
+        let x_labels = doc
+            .get("x_labels")
+            .and_then(Value::as_array)
+            .ok_or_else(|| field_err("x_labels"))?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string).ok_or_else(|| field_err("x_labels")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let series = doc
+            .get("series")
+            .and_then(Value::as_array)
+            .ok_or_else(|| field_err("series"))?
+            .iter()
+            .map(|s| {
+                let label = s
+                    .get("label")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| field_err("series.label"))?;
+                let values = s
+                    .get("values")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| field_err("series.values"))?
+                    .iter()
+                    .map(|v| v.as_f64().ok_or_else(|| field_err("series.values")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Series::new(label, values))
+            })
+            .collect::<Result<Vec<_>, ParseError>>()?;
+        // Re-establish the push_series invariant: every series matches the
+        // x-axis length (a mismatched document must not build a Figure that
+        // panics later in to_text_table).
+        if let Some(bad) = series.iter().find(|s| s.values.len() != x_labels.len()) {
+            return Err(ParseError {
+                offset: 0,
+                message: format!(
+                    "series '{}' has {} values for {} x_labels",
+                    bad.label,
+                    bad.values.len(),
+                    x_labels.len()
+                ),
+            });
+        }
+        Ok(Figure {
+            id: string_of("id")?,
+            title: string_of("title")?,
+            y_label: string_of("y_label")?,
+            x_labels,
+            series,
+        })
     }
 }
 
@@ -178,8 +271,35 @@ mod tests {
     #[test]
     fn json_round_trips() {
         let fig = sample();
-        let parsed: Figure = serde_json::from_str(&fig.to_json()).unwrap();
+        let parsed = Figure::from_json(&fig.to_json()).unwrap();
         assert_eq!(parsed, fig);
+    }
+
+    #[test]
+    fn json_round_trips_non_integral_values() {
+        let mut fig = Figure::new("fig00", "precision", "ratio");
+        fig.x_labels = vec!["a".into(), "b".into(), "c".into()];
+        fig.push_series(Series::new("s", vec![1.0 / 3.0, 0.1, 123456.789]));
+        let parsed = Figure::from_json(&fig.to_json()).unwrap();
+        assert_eq!(parsed, fig);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(Figure::from_json("not json").is_err());
+        assert!(Figure::from_json("{}").is_err());
+        assert!(Figure::from_json(r#"{"id": 3}"#).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_series_shorter_than_the_x_axis() {
+        let doc = r#"{
+            "id": "f", "title": "t", "y_label": "y",
+            "x_labels": ["a", "b", "c"],
+            "series": [{"label": "s", "values": [1.0]}]
+        }"#;
+        let err = Figure::from_json(doc).unwrap_err();
+        assert!(err.message.contains("has 1 values for 3 x_labels"), "{err}");
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod conventional;
 pub mod highradix;
 pub mod message;
 pub mod network;
+pub mod rng;
 pub mod router;
 pub mod smart;
 pub mod stats;
@@ -64,6 +65,7 @@ pub mod vms;
 pub use config::{NocConfig, RouterKind};
 pub use message::{Delivered, Destination, MulticastGroupId, NetMessage, VirtualNetwork};
 pub use network::{InjectError, Network};
+pub use rng::SplitMix64;
 pub use stats::NetworkStats;
 pub use topology::{Coord, Direction, Mesh, NodeId};
 pub use vms::VirtualMesh;

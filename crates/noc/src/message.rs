@@ -1,14 +1,14 @@
 //! Network messages, virtual networks and delivery records.
 
 use crate::topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// The five virtual networks (message classes) of Table 1.
 ///
 /// Separating message classes onto disjoint virtual networks is the standard
 /// protocol-level deadlock-avoidance technique used by GEMS/GARNET and
 /// assumed by the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum VirtualNetwork {
     /// L1→L2 and L2→directory/memory requests.
     Request,
@@ -46,11 +46,13 @@ impl VirtualNetwork {
 
 /// Identifier of a multicast group registered with
 /// [`crate::Network::register_multicast_group`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MulticastGroupId(pub u32);
 
 /// Where a message is going.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Destination {
     /// A single node.
     Unicast(NodeId),
@@ -66,7 +68,8 @@ pub enum Destination {
 /// instantiates it with its protocol message type. Multicast delivery clones
 /// the payload for every receiver, hence the `Clone` bound on most network
 /// operations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetMessage<P> {
     /// Injecting node.
     pub src: NodeId,

@@ -1,10 +1,10 @@
 //! Aggregate network statistics.
 
 use crate::message::VirtualNetwork;
-use serde::{Deserialize, Serialize};
 
 /// Counters accumulated by a [`crate::Network`] over a simulation.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetworkStats {
     /// Messages handed to `inject` (multicasts count once).
     pub injected_messages: u64,

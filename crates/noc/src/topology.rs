@@ -5,7 +5,6 @@
 //! XY dimension-ordered routing; everything in this module is generic over
 //! the mesh dimensions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a tile / router in the mesh, numbered row-major from the
@@ -18,7 +17,8 @@ use std::fmt;
 /// assert_eq!(mesh.coord(n).x, 2);
 /// assert_eq!(mesh.coord(n).y, 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u16);
 
 impl NodeId {
@@ -49,7 +49,8 @@ impl fmt::Display for NodeId {
 /// A 2-D tile coordinate within the mesh. `x` grows eastwards, `y` grows
 /// northwards, matching the figures in the paper (router `30` is the
 /// north-west corner of a 4x4 mesh).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Coord {
     /// Column (0 = west edge).
     pub x: u16,
@@ -79,7 +80,8 @@ impl fmt::Display for Coord {
 ///
 /// `Local` is the ejection/injection port connecting the router to the tile's
 /// network interface.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Direction {
     /// Towards larger `x`.
     East,
@@ -153,7 +155,8 @@ impl fmt::Display for Direction {
 }
 
 /// A rectangular mesh of `width x height` tiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Mesh {
     width: u16,
     height: u16,

@@ -13,12 +13,12 @@
 //! network for any registered multicast group whose members form a grid.
 
 use crate::topology::{Coord, Direction, Mesh, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The set of home nodes (one per cluster) that share a given home-node
 /// offset, i.e. one virtual mesh of the LOCO design.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VirtualMesh {
     mesh: Mesh,
     cluster_w: u16,

@@ -1,12 +1,13 @@
-//! Property-based tests of the NoC substrate: zero-load latencies of the
-//! cycle-driven fabrics match the analytical model, routing always
+//! Randomized property tests of the NoC substrate, driven by a deterministic
+//! seeded PRNG (the offline build has no `proptest`): zero-load latencies of
+//! the cycle-driven fabrics match the analytical model, routing always
 //! terminates, and multicast trees cover every member exactly once.
 
 use loco_noc::analytical::zero_load_latency;
 use loco_noc::{
-    Coord, Mesh, NetMessage, Network, NocConfig, NodeId, RouterKind, VirtualMesh, VirtualNetwork,
+    Coord, Mesh, NetMessage, Network, NocConfig, NodeId, RouterKind, SplitMix64, VirtualMesh,
+    VirtualNetwork,
 };
-use proptest::prelude::*;
 
 fn deliver_one(cfg: NocConfig, src: NodeId, dest: NodeId) -> (u64, u32) {
     let mut net: Network<()> = Network::new(cfg);
@@ -21,27 +22,25 @@ fn deliver_one(cfg: NocConfig, src: NodeId, dest: NodeId) -> (u64, u32) {
     panic!("message from {src} to {dest} never arrived");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// An uncontended packet's latency on each fabric equals the analytical
-    /// zero-load latency plus a small constant injection overhead.
-    #[test]
-    fn zero_load_latency_matches_analytical_model(
-        width in 2u16..10,
-        height in 2u16..10,
-        src_raw in 0u16..100,
-        dest_raw in 0u16..100,
-        kind in prop_oneof![
-            Just(RouterKind::Smart),
-            Just(RouterKind::Conventional),
-            Just(RouterKind::HighRadix),
-        ],
-    ) {
+/// An uncontended packet's latency on each fabric equals the analytical
+/// zero-load latency plus a small constant injection overhead.
+#[test]
+fn zero_load_latency_matches_analytical_model() {
+    let mut rng = SplitMix64::new(0x50c1);
+    for case in 0..64 {
+        let width = 2 + rng.next_below(8) as u16;
+        let height = 2 + rng.next_below(8) as u16;
         let mesh = Mesh::new(width, height);
-        let src = NodeId(src_raw % mesh.len() as u16);
-        let dest = NodeId(dest_raw % mesh.len() as u16);
-        prop_assume!(src != dest);
+        let src = NodeId(rng.next_below(mesh.len() as u64) as u16);
+        let dest = NodeId(rng.next_below(mesh.len() as u64) as u16);
+        let kind = match rng.next_below(3) {
+            0 => RouterKind::Smart,
+            1 => RouterKind::Conventional,
+            _ => RouterKind::HighRadix,
+        };
+        if src == dest {
+            continue;
+        }
         let cfg = match kind {
             RouterKind::Smart => NocConfig::smart_mesh(width, height, 4),
             RouterKind::Conventional => NocConfig::conventional_mesh(width, height),
@@ -51,53 +50,66 @@ proptest! {
         let (latency, _) = deliver_one(cfg, src, dest);
         // Allow the 1-cycle injection plus up to 2 cycles of model slack
         // (ejection / pipeline rounding).
-        prop_assert!(latency >= expected, "latency {latency} < analytical {expected}");
-        prop_assert!(latency <= expected + 3, "latency {latency} >> analytical {expected}");
+        assert!(
+            latency >= expected,
+            "case {case} ({kind:?} {width}x{height} {src}->{dest}): latency {latency} < analytical {expected}"
+        );
+        assert!(
+            latency <= expected + 3,
+            "case {case} ({kind:?} {width}x{height} {src}->{dest}): latency {latency} >> analytical {expected}"
+        );
     }
+}
 
-    /// SMART never takes more stops than the XY hop count and never more
-    /// cycles than the conventional fabric.
-    #[test]
-    fn smart_dominates_conventional(
-        width in 2u16..9,
-        height in 2u16..9,
-        src_raw in 0u16..64,
-        dest_raw in 0u16..64,
-    ) {
+/// SMART never takes more stops than the XY hop count and never more cycles
+/// than the conventional fabric.
+#[test]
+fn smart_dominates_conventional() {
+    let mut rng = SplitMix64::new(0x50c2);
+    for case in 0..64 {
+        let width = 2 + rng.next_below(7) as u16;
+        let height = 2 + rng.next_below(7) as u16;
         let mesh = Mesh::new(width, height);
-        let src = NodeId(src_raw % mesh.len() as u16);
-        let dest = NodeId(dest_raw % mesh.len() as u16);
-        prop_assume!(src != dest);
-        let (smart_lat, smart_stops) = deliver_one(NocConfig::smart_mesh(width, height, 4), src, dest);
-        let (conv_lat, conv_stops) = deliver_one(NocConfig::conventional_mesh(width, height), src, dest);
-        prop_assert!(smart_lat <= conv_lat);
-        prop_assert!(smart_stops <= conv_stops);
-        prop_assert_eq!(conv_stops as u16, mesh.hops(src, dest));
-        prop_assert_eq!(smart_stops as u16, mesh.smart_hops(src, dest, 4));
+        let src = NodeId(rng.next_below(mesh.len() as u64) as u16);
+        let dest = NodeId(rng.next_below(mesh.len() as u64) as u16);
+        if src == dest {
+            continue;
+        }
+        let (smart_lat, smart_stops) =
+            deliver_one(NocConfig::smart_mesh(width, height, 4), src, dest);
+        let (conv_lat, conv_stops) =
+            deliver_one(NocConfig::conventional_mesh(width, height), src, dest);
+        assert!(smart_lat <= conv_lat, "case {case}: {smart_lat} > {conv_lat}");
+        assert!(smart_stops <= conv_stops, "case {case}");
+        assert_eq!(conv_stops as u16, mesh.hops(src, dest), "case {case}");
+        assert_eq!(smart_stops as u16, mesh.smart_hops(src, dest, 4), "case {case}");
     }
+}
 
-    /// Every virtual mesh (any legal cluster shape and home offset) is
-    /// covered exactly once by the XY-tree broadcast, from any root.
-    #[test]
-    fn vms_broadcast_covers_every_member_exactly_once(
-        cw_exp in 0u32..3,
-        ch_exp in 0u32..3,
-        off_x in 0u16..8,
-        off_y in 0u16..8,
-        root_idx in 0usize..64,
-    ) {
+/// Every virtual mesh (any legal cluster shape and home offset) is covered
+/// exactly once by the XY-tree broadcast, from any root.
+#[test]
+fn vms_broadcast_covers_every_member_exactly_once() {
+    let mut rng = SplitMix64::new(0x50c3);
+    for case in 0..64 {
         let mesh = Mesh::new(8, 8);
-        let cw = 1u16 << cw_exp; // 1, 2, 4
-        let ch = 1u16 << ch_exp;
-        let offset = Coord::new(off_x % cw, off_y % ch);
+        let cw = 1u16 << rng.next_below(3); // 1, 2, 4
+        let ch = 1u16 << rng.next_below(3);
+        let offset = Coord::new(
+            (rng.next_below(8) as u16) % cw,
+            (rng.next_below(8) as u16) % ch,
+        );
         let vms = VirtualMesh::new(mesh, cw, ch, offset);
-        prop_assume!(vms.len() > 1);
+        if vms.len() <= 1 {
+            continue;
+        }
         let members = vms.members().to_vec();
-        let root = members[root_idx % members.len()];
+        let root = members[rng.index(members.len())];
 
         let mut net: Network<u8> = Network::new(NocConfig::smart_mesh(8, 8, 4));
         let group = net.register_multicast_group(members.clone());
-        net.inject(NetMessage::multicast(root, group, VirtualNetwork::Broadcast, 8, 0)).unwrap();
+        net.inject(NetMessage::multicast(root, group, VirtualNetwork::Broadcast, 8, 0))
+            .unwrap();
         let mut seen = std::collections::HashMap::new();
         for _ in 0..2_000 {
             net.tick();
@@ -110,31 +122,34 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(seen.len(), members.len() - 1, "missing receivers");
-        prop_assert!(seen.values().all(|&c| c == 1), "duplicate deliveries: {:?}", seen);
-        prop_assert!(!seen.contains_key(&root));
+        assert_eq!(seen.len(), members.len() - 1, "case {case}: missing receivers");
+        assert!(
+            seen.values().all(|&c| c == 1),
+            "case {case}: duplicate deliveries: {seen:?}"
+        );
+        assert!(!seen.contains_key(&root), "case {case}");
     }
+}
 
-    /// Mesh routing helpers are self-consistent: following `xy_next_dir`
-    /// step by step reaches the destination in exactly `hops` steps.
-    #[test]
-    fn xy_routing_reaches_destination(
-        width in 1u16..17,
-        height in 1u16..17,
-        a_raw in 0u16..300,
-        b_raw in 0u16..300,
-    ) {
+/// Mesh routing helpers are self-consistent: following `xy_next_dir` step by
+/// step reaches the destination in exactly `hops` steps.
+#[test]
+fn xy_routing_reaches_destination() {
+    let mut rng = SplitMix64::new(0x50c4);
+    for case in 0..64 {
+        let width = 1 + rng.next_below(16) as u16;
+        let height = 1 + rng.next_below(16) as u16;
         let mesh = Mesh::new(width, height);
-        let a = NodeId(a_raw % mesh.len() as u16);
-        let b = NodeId(b_raw % mesh.len() as u16);
+        let a = NodeId(rng.next_below(mesh.len() as u64) as u16);
+        let b = NodeId(rng.next_below(mesh.len() as u64) as u16);
         let mut cur = a;
         let mut steps = 0;
         while let Some(dir) = mesh.xy_next_dir(cur, b) {
             cur = mesh.neighbor(cur, dir).expect("route stays inside the mesh");
             steps += 1;
-            prop_assert!(steps <= mesh.hops(a, b));
+            assert!(steps <= mesh.hops(a, b), "case {case}: route overshoots");
         }
-        prop_assert_eq!(cur, b);
-        prop_assert_eq!(steps, mesh.hops(a, b));
+        assert_eq!(cur, b, "case {case}");
+        assert_eq!(steps, mesh.hops(a, b), "case {case}");
     }
 }

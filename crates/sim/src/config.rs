@@ -5,7 +5,6 @@ use loco_cache::{
     OrganizationKind,
 };
 use loco_noc::{Mesh, NocConfig, RouterKind};
-use serde::{Deserialize, Serialize};
 
 /// Complete configuration of a simulated CMP.
 ///
@@ -14,7 +13,8 @@ use serde::{Deserialize, Serialize};
 /// inclusive L2 slices (4 cycles), MSI/MOESI coherence, an 8x8 or 16x16 mesh
 /// with 5 VNs x 4 VCs and 16-byte links, `HPCmax` = 4, a 10-cycle directory
 /// and four 200-cycle memory controllers on the chip edges.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemConfig {
     /// Mesh width in tiles.
     pub mesh_width: u16,
@@ -31,24 +31,27 @@ pub struct SystemConfig {
     /// L1 geometry.
     pub l1: CacheGeometry,
     /// L2 slice configuration.
-    #[serde(skip, default = "default_l2")]
+    #[cfg_attr(feature = "serde", serde(skip, default = "default_l2"))]
     pub l2: L2Config,
     /// Global directory configuration.
-    #[serde(skip, default = "default_dir")]
+    #[cfg_attr(feature = "serde", serde(skip, default = "default_dir"))]
     pub dir: DirectoryConfig,
     /// Memory-controller configuration.
-    #[serde(skip, default = "default_mem")]
+    #[cfg_attr(feature = "serde", serde(skip, default = "default_mem"))]
     pub mem: MemoryConfig,
     /// Model barrier synchronization (full-system replay mode).
     pub full_system: bool,
 }
 
+#[cfg(feature = "serde")]
 fn default_l2() -> L2Config {
     L2Config::default()
 }
+#[cfg(feature = "serde")]
 fn default_dir() -> DirectoryConfig {
     DirectoryConfig::default()
 }
+#[cfg(feature = "serde")]
 fn default_mem() -> MemoryConfig {
     MemoryConfig::default()
 }

@@ -11,10 +11,10 @@
 //! barnes/fft communicate chip-wide — the `SharingPattern` field captures
 //! exactly that distinction.
 
-use serde::{Deserialize, Serialize};
 
 /// How a benchmark's shared data is communicated between threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SharingPattern {
     /// Shared data is mostly exchanged between neighbouring threads
     /// (blocked/stencil codes, pipelines).
@@ -25,7 +25,8 @@ pub enum SharingPattern {
 }
 
 /// The benchmarks used in the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[allow(missing_docs)]
 pub enum Benchmark {
     Barnes,
@@ -232,7 +233,8 @@ impl Benchmark {
 
 /// The behavioural model of one benchmark, consumed by
 /// [`crate::trace::TraceGenerator`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BenchmarkSpec {
     /// Which benchmark this models.
     pub benchmark: Benchmark,

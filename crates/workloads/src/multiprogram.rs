@@ -8,11 +8,11 @@
 
 use crate::benchmarks::Benchmark;
 use crate::trace::{CoreTrace, TraceGenerator};
-use serde::{Deserialize, Serialize};
 
 /// One task of a multi-program workload: `instances` copies of `benchmark`,
 /// each running with `threads` threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskSpec {
     /// The program.
     pub benchmark: Benchmark,
@@ -23,7 +23,8 @@ pub struct TaskSpec {
 }
 
 /// The mapping of one task instance onto cores.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskAssignment {
     /// The program.
     pub benchmark: Benchmark,
@@ -34,7 +35,8 @@ pub struct TaskAssignment {
 }
 
 /// A multi-program workload: a list of tasks filling the 64-core CMP.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MultiProgramWorkload {
     name: &'static str,
     tasks: Vec<TaskSpec>,

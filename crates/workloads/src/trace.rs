@@ -1,9 +1,7 @@
 //! Trace representation and the synthetic trace generator.
 
 use crate::benchmarks::{BenchmarkSpec, SharingPattern};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use loco_noc::SplitMix64;
 use std::collections::VecDeque;
 
 /// Base of the per-thread private regions.
@@ -27,7 +25,8 @@ const NEIGHBOR_GLOBAL_LEAK: f64 = 0.10;
 const REGION_STRIDE_LINES: u64 = 999_983;
 
 /// One replayed instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TraceOp {
     /// A load from the given byte address.
     Read(u64),
@@ -52,7 +51,8 @@ impl TraceOp {
 }
 
 /// The instruction trace of one core.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoreTrace {
     ops: Vec<TraceOp>,
 }
@@ -142,7 +142,7 @@ impl TraceGenerator {
         threads: usize,
         mem_ops: u64,
     ) -> CoreTrace {
-        let mut rng = SmallRng::seed_from_u64(
+        let mut rng = SplitMix64::new(
             self.seed ^ (thread as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ self.task_offset,
         );
         let mut ops = Vec::with_capacity((mem_ops as usize) * 2);
@@ -150,13 +150,13 @@ impl TraceGenerator {
         let mut barrier_id = 0u32;
         for i in 0..mem_ops {
             // Compute gap.
-            let gap = rng.gen_range(0..=spec.compute_per_mem * 2);
+            let gap = rng.next_below(u64::from(spec.compute_per_mem) * 2 + 1) as u32;
             if gap > 0 {
                 ops.push(TraceOp::Compute(gap));
             }
             // Pick the address.
             let addr = if !reuse_window.is_empty() && rng.gen_bool(spec.reuse) {
-                let idx = rng.gen_range(0..reuse_window.len());
+                let idx = rng.index(reuse_window.len());
                 reuse_window[idx]
             } else {
                 let a = self.fresh_address(spec, thread, threads, &mut rng);
@@ -186,7 +186,7 @@ impl TraceGenerator {
         spec: &BenchmarkSpec,
         thread: usize,
         threads: usize,
-        rng: &mut SmallRng,
+        rng: &mut SplitMix64,
     ) -> u64 {
         let shared = rng.gen_bool(spec.shared_fraction);
         let line = if shared {
@@ -195,19 +195,19 @@ impl TraceGenerator {
                 SharingPattern::Neighbor => rng.gen_bool(NEIGHBOR_GLOBAL_LEAK),
             };
             if go_global {
-                GLOBAL_BASE / LINE_BYTES + rng.gen_range(0..spec.shared_lines)
+                GLOBAL_BASE / LINE_BYTES + rng.next_below(spec.shared_lines)
             } else {
                 let group = (thread as u64) / NEIGHBOR_GROUP;
                 let groups = (threads as u64).div_ceil(NEIGHBOR_GROUP).max(1);
                 let _ = groups;
                 NEIGHBOR_BASE / LINE_BYTES
                     + group * REGION_STRIDE_LINES
-                    + rng.gen_range(0..spec.shared_lines)
+                    + rng.next_below(spec.shared_lines)
             }
         } else {
             PRIVATE_BASE / LINE_BYTES
                 + (thread as u64) * REGION_STRIDE_LINES
-                + rng.gen_range(0..spec.private_lines)
+                + rng.next_below(spec.private_lines)
         };
         (line * LINE_BYTES) + self.task_offset
     }

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# One-shot verification gate for this workspace, exactly as the offline
+# environment allows (no network, empty registry cache). Every PR must keep
+# this green.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo test --doc"
+cargo test --doc -q --offline
+
+echo "==> cargo build --workspace --all-targets (benches, examples, reproduce)"
+cargo build --workspace --all-targets --offline
+
+echo "==> verify OK"
