@@ -1,0 +1,218 @@
+//! Times the quickstart campaign (`lu` on full LOCO and on the shared-cache
+//! baseline) and writes the timings to `BENCH_results.json`, so the
+//! simulator's perf trajectory is tracked across PRs.
+//!
+//! Each campaign entry is timed in both execution modes — the event-driven
+//! cycle-skipping scheduler (`CmpSystem::run`, the product path) and naive
+//! per-cycle stepping (`CmpSystem::run_naive`, the reference semantics) —
+//! and the two are asserted bit-identical. The headline number is the
+//! event-driven total; it is compared against a *baseline*:
+//!
+//! * `--baseline-ms N --baseline-label TEXT` seeds an explicit baseline
+//!   (used once, to record the pre-PR wall clock when this tracking was
+//!   introduced);
+//! * otherwise, if the `--out` file already exists, its event-driven total
+//!   becomes the baseline, so each PR's run reports its speedup over the
+//!   previous committed numbers.
+//!
+//! ```text
+//! cargo run --release -p loco-bench --bin bench_campaign -- [--quick] \
+//!     [--samples N] [--out PATH] [--baseline-ms N] [--baseline-label TEXT]
+//! ```
+//!
+//! `--quick` shrinks the campaign to a 16-core smoke run (what
+//! `scripts/verify.sh` exercises); the default full scale is the paper's
+//! 64-core CMP, exactly as `examples/quickstart.rs` runs it.
+
+use loco::json::{parse, Value};
+use loco::{Benchmark, OrganizationKind, SimulationBuilder};
+use loco_bench::timing::Summary;
+use std::time::{Duration, Instant};
+
+struct Args {
+    quick: bool,
+    samples: usize,
+    out: String,
+    baseline_ms: Option<f64>,
+    baseline_label: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        samples: 3,
+        out: "BENCH_results.json".to_string(),
+        baseline_ms: None,
+        baseline_label: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--samples" => {
+                let v = it.next().expect("--samples needs a value");
+                args.samples = v.parse().expect("--samples needs an integer");
+            }
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--baseline-ms" => {
+                let v = it.next().expect("--baseline-ms needs a value");
+                args.baseline_ms = Some(v.parse().expect("--baseline-ms needs a number"));
+            }
+            "--baseline-label" => {
+                args.baseline_label = Some(it.next().expect("--baseline-label needs text"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_campaign [--quick] [--samples N] [--out PATH] \
+                     [--baseline-ms N] [--baseline-label TEXT]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(args.samples > 0, "--samples must be positive");
+    args
+}
+
+fn builder(org: OrganizationKind, quick: bool) -> SimulationBuilder {
+    let b = SimulationBuilder::new()
+        .benchmark(Benchmark::Lu)
+        .organization(org);
+    if quick {
+        b.mesh(4, 4).cluster(2, 2).memory_ops_per_core(300)
+    } else {
+        b.memory_ops_per_core(1_000)
+    }
+}
+
+/// Times `samples` fresh runs (after one untimed warm-up whose results
+/// double as the determinism oracle) and returns the durations plus the
+/// oracle's debug rendering.
+fn time_runs(
+    b: &SimulationBuilder,
+    samples: usize,
+    run: impl Fn(&mut loco::CmpSystem) -> loco::SimResults,
+) -> (Vec<Duration>, String) {
+    let reference = format!("{:?}", run(&mut b.build()));
+    let mut durations = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut sys = b.build();
+        let start = Instant::now();
+        let results = run(&mut sys);
+        durations.push(start.elapsed());
+        assert_eq!(
+            format!("{results:?}"),
+            reference,
+            "nondeterministic simulation results"
+        );
+    }
+    (durations, reference)
+}
+
+fn ms(d: Duration) -> Value {
+    Value::Number(d.as_secs_f64() * 1e3)
+}
+
+fn summary_json(s: &Summary) -> Value {
+    Value::Object(vec![
+        ("median_ms".into(), ms(s.median)),
+        ("mean_ms".into(), ms(s.mean)),
+        ("min_ms".into(), ms(s.min)),
+        ("max_ms".into(), ms(s.max)),
+        ("stddev_ms".into(), ms(s.stddev)),
+    ])
+}
+
+/// The baseline to compare against: explicit flag, else the previous
+/// `--out` file's event-driven total.
+fn resolve_baseline(args: &Args) -> Option<(f64, String)> {
+    if let Some(v) = args.baseline_ms {
+        let label = args
+            .baseline_label
+            .clone()
+            .unwrap_or_else(|| "explicit baseline".into());
+        return Some((v, label));
+    }
+    let text = std::fs::read_to_string(&args.out).ok()?;
+    let doc = parse(&text).ok()?;
+    let prev = doc.get("total")?.get("event_driven_median_ms")?.as_f64()?;
+    let scale = doc.get("scale")?.as_str()?.to_string();
+    Some((prev, format!("previous BENCH_results.json ({scale})")))
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline = resolve_baseline(&args);
+    let max_cycles = 50_000_000;
+    let orgs = [
+        ("loco_cc_vms_ivr", OrganizationKind::LocoCcVmsIvr),
+        ("shared", OrganizationKind::Shared),
+    ];
+
+    let mut runs = Vec::new();
+    let mut naive_total = Duration::ZERO;
+    let mut event_total = Duration::ZERO;
+    for (name, org) in orgs {
+        let b = builder(org, args.quick);
+        let (naive, naive_ref) = time_runs(&b, args.samples, |s| s.run_naive(max_cycles));
+        let (event, event_ref) = time_runs(&b, args.samples, |s| s.run(max_cycles));
+        assert_eq!(
+            naive_ref, event_ref,
+            "{name}: event-driven run diverged from naive stepping"
+        );
+        let ns = Summary::from_samples(&naive).expect("samples > 0");
+        let es = Summary::from_samples(&event).expect("samples > 0");
+        naive_total += ns.median;
+        event_total += es.median;
+        println!(
+            "lu/{name:<16} event-driven {:>10.1?} (median)  naive-stepping {:>10.1?} (median)",
+            es.median, ns.median
+        );
+        runs.push(Value::Object(vec![
+            ("benchmark".into(), Value::String("lu".into())),
+            ("organization".into(), Value::String(name.into())),
+            ("event_driven".into(), summary_json(&es)),
+            ("naive_stepping".into(), summary_json(&ns)),
+            ("results_identical".into(), Value::Bool(true)),
+        ]));
+    }
+
+    let mut total_fields = vec![
+        ("event_driven_median_ms".into(), ms(event_total)),
+        ("naive_stepping_median_ms".into(), ms(naive_total)),
+    ];
+    let mut baseline_value = Value::Null;
+    if let Some((base_ms, label)) = &baseline {
+        let speedup = base_ms / (event_total.as_secs_f64() * 1e3);
+        println!(
+            "campaign total           event-driven {event_total:>10.1?} vs baseline {base_ms:.1}ms \
+             ({label}): speedup {speedup:.2}x"
+        );
+        total_fields.push(("speedup_vs_baseline".into(), Value::Number(speedup)));
+        baseline_value = Value::Object(vec![
+            ("median_ms".into(), Value::Number(*base_ms)),
+            ("label".into(), Value::String(label.clone())),
+        ]);
+    } else {
+        println!("campaign total           event-driven {event_total:>10.1?} (no baseline on record)");
+    }
+
+    let doc = Value::Object(vec![
+        ("schema".into(), Value::String("loco-bench-campaign/1".into())),
+        (
+            "campaign".into(),
+            Value::String("quickstart (lu, LOCO CC+VMS+IVR vs shared)".into()),
+        ),
+        (
+            "scale".into(),
+            Value::String(if args.quick { "quick-16-core" } else { "paper-64-core" }.into()),
+        ),
+        ("samples_per_mode".into(), Value::Number(args.samples as f64)),
+        ("baseline".into(), baseline_value),
+        ("runs".into(), Value::Array(runs)),
+        ("total".into(), Value::Object(total_fields)),
+    ]);
+    std::fs::write(&args.out, doc.to_pretty() + "\n").expect("write BENCH results");
+    println!("wrote {}", args.out);
+}

@@ -143,18 +143,68 @@ impl Bencher {
     }
 }
 
+/// Aggregate statistics over one benchmark's timing samples.
+///
+/// `median` and `stddev` are what before/after comparisons across perf PRs
+/// should quote: the median is robust against one-off scheduling outliers,
+/// and the standard deviation says whether an observed delta is noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples summarized.
+    pub samples: usize,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Median (midpoint average for even sample counts).
+    pub median: Duration,
+    /// Population standard deviation.
+    pub stddev: Duration,
+}
+
+impl Summary {
+    /// Summarizes a set of samples; `None` when `samples` is empty.
+    pub fn from_samples(samples: &[Duration]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+        };
+        let total: Duration = sorted.iter().sum();
+        let mean = total / n as u32;
+        let mean_s = mean.as_secs_f64();
+        let variance = sorted
+            .iter()
+            .map(|s| (s.as_secs_f64() - mean_s).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        Some(Summary {
+            samples: n,
+            mean,
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+            stddev: Duration::from_secs_f64(variance.sqrt()),
+        })
+    }
+}
+
 fn report(name: &str, samples: &[Duration]) {
-    if samples.is_empty() {
+    let Some(s) = Summary::from_samples(samples) else {
         println!("{name:<40} (no samples collected)");
         return;
-    }
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len() as u32;
-    let min = samples.iter().min().expect("non-empty");
-    let max = samples.iter().max().expect("non-empty");
+    };
     println!(
-        "{name:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
-        samples.len()
+        "{name:<40} median {:>12?}  mean {:>12?}  min {:>12?}  max {:>12?}  stddev {:>10?}  ({} samples)",
+        s.median, s.mean, s.min, s.max, s.stddev, s.samples
     );
 }
 
@@ -194,6 +244,24 @@ mod tests {
         b.iter(|| runs += 1);
         assert_eq!(b.samples.len(), 5);
         assert_eq!(runs, 6, "5 samples + 1 warm-up");
+    }
+
+    #[test]
+    fn summary_computes_order_statistics() {
+        let ms = Duration::from_millis;
+        let s = Summary::from_samples(&[ms(4), ms(1), ms(3), ms(2)]).unwrap();
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.max, ms(4));
+        assert_eq!(s.median, Duration::from_micros(2500));
+        assert_eq!(s.mean, Duration::from_micros(2500));
+        // Population stddev of {1,2,3,4} ms = sqrt(1.25) ms ~ 1.118 ms.
+        let expected = 1.25f64.sqrt() / 1000.0;
+        assert!((s.stddev.as_secs_f64() - expected).abs() < 1e-9);
+
+        let odd = Summary::from_samples(&[ms(5), ms(1), ms(9)]).unwrap();
+        assert_eq!(odd.median, ms(5));
+        assert_eq!(Summary::from_samples(&[]), None);
     }
 
     #[test]

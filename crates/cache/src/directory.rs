@@ -19,7 +19,8 @@ use crate::msg::{Agent, MsgKind, Outgoing, ProtocolMsg};
 use crate::organization::Organization;
 use crate::stats::CacheStats;
 use loco_noc::NodeId;
-use std::collections::{HashMap, VecDeque};
+use loco_noc::FxHashMap;
+use std::collections::VecDeque;
 
 /// Timing parameters of the directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +55,7 @@ pub struct DirectoryController {
     node: NodeId,
     org: Organization,
     cfg: DirectoryConfig,
-    entries: HashMap<LineAddr, DirEntry>,
+    entries: FxHashMap<LineAddr, DirEntry>,
     stats: CacheStats,
 }
 
@@ -65,7 +66,7 @@ impl DirectoryController {
             node,
             org,
             cfg,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             stats: CacheStats::default(),
         }
     }

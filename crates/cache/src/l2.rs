@@ -20,7 +20,7 @@ use crate::msg::{Agent, MsgKind, Outgoing, ProtocolMsg, ResponseSource};
 use crate::organization::{MemoryMap, Organization};
 use crate::stats::CacheStats;
 use loco_noc::{NodeId, SplitMix64};
-use std::collections::HashMap;
+use loco_noc::FxHashMap;
 
 /// Tunables of the home-node controller beyond the array geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,7 +129,7 @@ pub struct L2Controller {
     memmap: MemoryMap,
     cfg: L2Config,
     array: CacheArray<L2Meta>,
-    mshrs: HashMap<LineAddr, Mshr>,
+    mshrs: FxHashMap<LineAddr, Mshr>,
     stats: CacheStats,
     rng: SplitMix64,
 }
@@ -143,7 +143,7 @@ impl L2Controller {
             memmap,
             cfg,
             array: CacheArray::new(cfg.geometry),
-            mshrs: HashMap::new(),
+            mshrs: FxHashMap::default(),
             stats: CacheStats::default(),
             rng: SplitMix64::new(0x10c0 ^ node.index() as u64),
         }

@@ -81,6 +81,16 @@ impl MemoryController {
         self.pending.len()
     }
 
+    /// The earliest cycle at which [`MemoryController::tick`] will release a
+    /// DRAM response, or `None` when no access is outstanding. Event-driven
+    /// simulation uses this to skip the dead cycles of the 200-cycle DRAM
+    /// latency; the caller must step the controller at exactly this cycle,
+    /// because that is when the naive per-cycle loop would have released the
+    /// response.
+    pub fn next_event(&self) -> Option<u64> {
+        self.pending.iter().map(|p| p.fire_at).min()
+    }
+
     /// Handles a protocol message addressed to this memory controller.
     pub fn handle(&mut self, msg: ProtocolMsg, now: u64, out: &mut Vec<Outgoing>) {
         match msg.kind {
@@ -117,6 +127,9 @@ impl MemoryController {
     /// Releases DRAM responses whose latency has elapsed. The simulator
     /// calls this once per cycle.
     pub fn tick(&mut self, now: u64, out: &mut Vec<Outgoing>) {
+        if self.pending.is_empty() {
+            return;
+        }
         let mut i = 0;
         while i < self.pending.len() {
             if self.pending[i].fire_at <= now {

@@ -10,10 +10,9 @@
 
 use crate::report::{Figure, Series};
 use loco_cache::{ClusterShape, OrganizationKind};
-use loco_noc::RouterKind;
+use loco_noc::{FxHashMap, RouterKind};
 use loco_sim::{CmpSystem, SimResults, SystemConfig};
 use loco_workloads::{Benchmark, MultiProgramWorkload, TraceGenerator};
-use std::collections::HashMap;
 
 /// Scale parameters of an experiment campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,7 +126,7 @@ struct RunKey {
 #[derive(Debug)]
 pub struct Runner {
     params: ExperimentParams,
-    cache: HashMap<RunKey, SimResults>,
+    cache: FxHashMap<RunKey, SimResults>,
     runs: u64,
 }
 
@@ -136,7 +135,7 @@ impl Runner {
     pub fn new(params: ExperimentParams) -> Self {
         Runner {
             params,
-            cache: HashMap::new(),
+            cache: FxHashMap::default(),
             runs: 0,
         }
     }

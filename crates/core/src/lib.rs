@@ -49,7 +49,10 @@ pub use loco_cache::{
     Address, CacheGeometry, CacheStats, ClusterShape, LineAddr, MoesiState, MsiState,
     Organization, OrganizationKind,
 };
-pub use loco_noc::{Mesh, NetworkStats, NocConfig, NodeId, RouterKind, VirtualMesh};
+pub use loco_noc::{
+    FxBuildHasher, FxHashMap, FxHashSet, Mesh, NetworkStats, NocConfig, NodeId, RouterKind,
+    VirtualMesh,
+};
 pub use loco_sim::{CmpSystem, SimResults, SystemConfig};
 pub use loco_workloads::{Benchmark, BenchmarkSpec, MultiProgramWorkload, TraceGenerator};
 

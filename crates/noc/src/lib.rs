@@ -52,6 +52,7 @@
 pub mod analytical;
 pub mod config;
 pub mod conventional;
+pub mod fx;
 pub mod highradix;
 pub mod message;
 pub mod network;
@@ -63,6 +64,7 @@ pub mod topology;
 pub mod vms;
 
 pub use config::{NocConfig, RouterKind};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use message::{Delivered, Destination, MulticastGroupId, NetMessage, VirtualNetwork};
 pub use network::{InjectError, Network};
 pub use rng::SplitMix64;

@@ -3,6 +3,7 @@
 
 use crate::config::{NocConfig, RouterKind};
 use crate::conventional::ConventionalFabric;
+use crate::fx::FxHashMap;
 use crate::highradix::HighRadixFabric;
 use crate::message::{Delivered, Destination, MulticastGroupId, NetMessage, VirtualNetwork};
 use crate::router::{Arrival, FabricEngine, FlightInfo, PacketId};
@@ -10,21 +11,41 @@ use crate::smart::SmartFabric;
 use crate::stats::NetworkStats;
 use crate::topology::{Direction, NodeId};
 use crate::vms::MulticastTree;
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 /// Error returned by [`Network::inject`] when the source NIC's injection
-/// buffer has no space this cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct InjectError;
+/// buffer has no space this cycle. It hands the rejected message back to the
+/// caller, so retry queues never need to clone speculatively on the hot
+/// injection path.
+pub struct InjectError<P>(NetMessage<P>);
 
-impl fmt::Display for InjectError {
+impl<P> InjectError<P> {
+    /// The rejected message, returned by value for a later retry.
+    pub fn into_message(self) -> NetMessage<P> {
+        self.0
+    }
+
+    /// A view of the rejected message.
+    pub fn message(&self) -> &NetMessage<P> {
+        &self.0
+    }
+}
+
+impl<P> fmt::Debug for InjectError<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("InjectError(injection buffer full)")
+    }
+}
+
+impl<P> fmt::Display for InjectError<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("injection buffer full")
     }
 }
 
-impl std::error::Error for InjectError {}
+impl<P> std::error::Error for InjectError<P> {}
 
 enum Fabric {
     Conventional(ConventionalFabric),
@@ -57,6 +78,33 @@ struct PacketRecord<P> {
     travelling: Option<Direction>,
 }
 
+/// One fabric arrival waiting out its (multi-flit) release time, ordered for
+/// the min-heap by `(release cycle, insertion order)`. All arrivals released
+/// at one tick share the same release cycle, so the insertion-order tiebreak
+/// makes the heap pop order bit-identical to the old in-order scan of the
+/// in-flight list.
+struct QueuedArrival {
+    seq: u64,
+    arrival: Arrival,
+}
+
+impl PartialEq for QueuedArrival {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for QueuedArrival {}
+impl Ord for QueuedArrival {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.arrival.now, self.seq).cmp(&(other.arrival.now, other.seq))
+    }
+}
+impl PartialOrd for QueuedArrival {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// A cycle-driven on-chip network carrying messages with payload type `P`.
 ///
 /// See the crate-level documentation for an end-to-end example.
@@ -65,10 +113,20 @@ pub struct Network<P> {
     fabric: Fabric,
     cycle: u64,
     groups: Vec<MulticastTree>,
-    packets: HashMap<PacketId, PacketRecord<P>>,
+    packets: FxHashMap<PacketId, PacketRecord<P>>,
     next_packet: u64,
-    pending: Vec<Arrival>,
+    pending: BinaryHeap<Reverse<QueuedArrival>>,
+    next_arrival_seq: u64,
+    /// Scratch buffer handed to the fabric each tick (avoids a per-cycle
+    /// allocation on the hot path).
+    arrivals_scratch: Vec<Arrival>,
+    /// Scratch for arrivals that complete in the very tick they are produced
+    /// (the common single-flit case) — they bypass the heap entirely.
+    due_scratch: Vec<Arrival>,
     eject_queues: Vec<VecDeque<Delivered<P>>>,
+    /// Total messages sitting in `eject_queues` (lets `eject_all` skip the
+    /// per-node scan on quiet cycles).
+    ejectable: usize,
     stats: NetworkStats,
 }
 
@@ -90,10 +148,14 @@ impl<P: Clone> Network<P> {
             fabric,
             cycle: 0,
             groups: Vec::new(),
-            packets: HashMap::new(),
+            packets: FxHashMap::default(),
             next_packet: 0,
-            pending: Vec::new(),
+            pending: BinaryHeap::new(),
+            next_arrival_seq: 0,
+            arrivals_scratch: Vec::new(),
+            due_scratch: Vec::new(),
             eject_queues: (0..cfg.mesh.len()).map(|_| VecDeque::new()).collect(),
+            ejectable: 0,
             stats: NetworkStats::default(),
         }
     }
@@ -142,15 +204,16 @@ impl<P: Clone> Network<P> {
     ///
     /// # Errors
     ///
-    /// Returns [`InjectError`] if the source injection buffer is full; the
-    /// caller should retry on a later cycle (this is how back-pressure
-    /// propagates into the cache controllers).
+    /// Returns [`InjectError`] — carrying the rejected message back to the
+    /// caller — if the source injection buffer is full; the caller should
+    /// retry on a later cycle (this is how back-pressure propagates into the
+    /// cache controllers).
     ///
     /// # Panics
     ///
     /// Panics if a multicast destination names an unregistered group or the
     /// source is not a member of the group.
-    pub fn inject(&mut self, msg: NetMessage<P>) -> Result<(), InjectError> {
+    pub fn inject(&mut self, msg: NetMessage<P>) -> Result<(), InjectError<P>> {
         match msg.dest {
             Destination::Unicast(dest) if dest == msg.src => {
                 self.stats.injected_messages += 1;
@@ -165,11 +228,12 @@ impl<P: Clone> Network<P> {
                 self.stats
                     .record_delivery(delivered.msg.vn, 1, 0);
                 self.eject_queues[dest.index()].push_back(delivered);
+                self.ejectable += 1;
                 Ok(())
             }
             Destination::Unicast(dest) => {
                 if !self.can_inject(msg.src, msg.vn) {
-                    return Err(InjectError);
+                    return Err(InjectError(msg));
                 }
                 self.stats.injected_messages += 1;
                 let flight = self.new_flight(&msg, msg.src, dest, 0);
@@ -189,7 +253,7 @@ impl<P: Clone> Network<P> {
                     "unregistered multicast group {group:?}"
                 );
                 if !self.can_inject(msg.src, msg.vn) {
-                    return Err(InjectError);
+                    return Err(InjectError(msg));
                 }
                 assert!(
                     self.groups[group.0 as usize].contains(msg.src),
@@ -231,22 +295,80 @@ impl<P: Clone> Network<P> {
 
     /// Advances the network by one cycle.
     pub fn tick(&mut self) {
-        let mut arrivals = Vec::new();
+        let mut arrivals = std::mem::take(&mut self.arrivals_scratch);
+        let mut due = std::mem::take(&mut self.due_scratch);
+        debug_assert!(arrivals.is_empty() && due.is_empty());
         self.fabric.as_engine().tick(self.cycle, &mut arrivals);
-        self.pending.append(&mut arrivals);
+        // Fabric arrival times are always in the future (`> self.cycle`);
+        // those due on the very next cycle — the common single-flit case —
+        // bypass the heap. Heap entries released this tick are all timed at
+        // exactly `cycle + 1` too (earlier ones were released last tick) and
+        // carry smaller sequence numbers, so "heap first, then fresh
+        // arrivals in production order" reproduces the naive in-order scan
+        // of the old in-flight list bit for bit.
+        for arrival in arrivals.drain(..) {
+            debug_assert!(arrival.now > self.cycle);
+            if arrival.now == self.cycle + 1 {
+                due.push(arrival);
+            } else {
+                let seq = self.next_arrival_seq;
+                self.next_arrival_seq += 1;
+                self.pending.push(Reverse(QueuedArrival { seq, arrival }));
+            }
+        }
+        self.arrivals_scratch = arrivals;
         self.cycle += 1;
         // Release arrivals whose (possibly multi-flit) arrival time has been
-        // reached.
-        let due: Vec<Arrival> = {
-            let cycle = self.cycle;
-            let (ready, later): (Vec<Arrival>, Vec<Arrival>) =
-                self.pending.drain(..).partition(|a| a.now <= cycle);
-            self.pending = later;
-            ready
-        };
-        for arrival in due {
-            self.complete(arrival);
+        // reached — an O(log n) heap pop per due arrival instead of the old
+        // O(in-flight) re-partition of the whole list every cycle.
+        while let Some(Reverse(q)) = self.pending.peek() {
+            if q.arrival.now > self.cycle {
+                break;
+            }
+            let Reverse(q) = self.pending.pop().expect("peeked element");
+            self.complete(q.arrival);
         }
+        for i in 0..due.len() {
+            self.complete(due[i]);
+        }
+        due.clear();
+        self.due_scratch = due;
+    }
+
+    /// Earliest cycle `>= self.cycle` at which [`Network::tick`] can change
+    /// state (release a queued arrival or move a packet inside the fabric),
+    /// or `None` when the network is fully quiescent. Event-driven callers
+    /// use this to skip dead cycles via [`Network::advance_to`].
+    pub fn next_event(&self) -> Option<u64> {
+        // An arrival with release time `t` is completed by the tick that
+        // runs *during* cycle `t - 1` (tick increments the clock first), so
+        // that is the cycle the caller must not skip past.
+        let pending = self
+            .pending
+            .peek()
+            .map(|Reverse(q)| q.arrival.now.saturating_sub(1).max(self.cycle));
+        let fabric = self.fabric.as_engine_ref().next_event(self.cycle);
+        match (pending, fabric) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fast-forwards the network clock to `cycle` without simulating the
+    /// cycles in between.
+    ///
+    /// The caller must guarantee the skipped range is dead time: no cycle in
+    /// `self.cycle..cycle` may be one at which [`Network::tick`] would have
+    /// changed state (i.e. `cycle` must not exceed [`Network::next_event`]),
+    /// and all ejection queues must have been drained. Both are debug-checked.
+    pub fn advance_to(&mut self, cycle: u64) {
+        debug_assert!(cycle >= self.cycle, "advance_to must move forward");
+        debug_assert!(
+            self.next_event().is_none_or(|e| e >= cycle),
+            "advance_to would skip a live network event"
+        );
+        debug_assert!(self.ejectable == 0, "advance_to with undelivered ejections");
+        self.cycle = cycle;
     }
 
     fn complete(&mut self, arrival: Arrival) {
@@ -291,26 +413,42 @@ impl<P: Clone> Network<P> {
             msg: record.msg,
         };
         self.eject_queues[arrival.at.index()].push_back(delivered);
+        self.ejectable += 1;
     }
 
     /// Drains all messages delivered at `node`.
     pub fn eject(&mut self, node: NodeId) -> Vec<Delivered<P>> {
-        self.eject_queues[node.index()].drain(..).collect()
+        let drained: Vec<Delivered<P>> = self.eject_queues[node.index()].drain(..).collect();
+        self.ejectable -= drained.len();
+        drained
+    }
+
+    /// Drains all delivered messages across every node into `out`
+    /// (allocation-free once `out` has warmed up its capacity).
+    pub fn eject_all_into(&mut self, out: &mut Vec<Delivered<P>>) {
+        if self.ejectable == 0 {
+            return;
+        }
+        out.reserve(self.ejectable);
+        for q in &mut self.eject_queues {
+            while let Some(d) = q.pop_front() {
+                out.push(d);
+            }
+        }
+        self.ejectable = 0;
     }
 
     /// Drains all delivered messages across every node.
     pub fn eject_all(&mut self) -> Vec<Delivered<P>> {
         let mut out = Vec::new();
-        for q in &mut self.eject_queues {
-            out.extend(q.drain(..));
-        }
+        self.eject_all_into(&mut out);
         out
     }
 
     /// Whether any packet is still inside the fabric or waiting in an
     /// ejection queue.
     pub fn is_busy(&self) -> bool {
-        self.in_flight() > 0 || self.eject_queues.iter().any(|q| !q.is_empty())
+        self.in_flight() > 0 || self.ejectable > 0
     }
 
     /// Number of packets currently travelling through the fabric (including
@@ -498,10 +636,35 @@ mod tests {
                 0,
             )) {
                 Ok(()) => accepted += 1,
-                Err(InjectError) => break,
+                Err(e) => {
+                    // The rejected message comes back by value for retry.
+                    assert_eq!(e.message().src, NodeId(0));
+                    assert_eq!(e.into_message().dest, Destination::Unicast(NodeId(15)));
+                    break;
+                }
             }
         }
         assert!(accepted >= cfg.vn_buffer_capacity() as u64);
         assert!(accepted < 1000);
+    }
+
+    #[test]
+    fn next_event_tracks_queued_arrivals_and_quiescence() {
+        let mut net: Network<u8> = Network::new(NocConfig::smart_mesh(8, 8, 4));
+        assert_eq!(net.next_event(), None, "an empty network has no events");
+        net.inject(NetMessage::unicast(
+            NodeId(0),
+            NodeId(4),
+            VirtualNetwork::Request,
+            8,
+            9,
+        ))
+        .unwrap();
+        // The injected packet becomes switch-eligible at cycle 1.
+        assert_eq!(net.next_event(), Some(1));
+        net.advance_to(1);
+        run_until_quiet(&mut net, 50);
+        assert_eq!(net.eject(NodeId(4)).len(), 1);
+        assert_eq!(net.next_event(), None, "drained network is quiescent again");
     }
 }

@@ -15,7 +15,8 @@
 use crate::config::NocConfig;
 use crate::message::VirtualNetwork;
 use crate::router::{
-    dir_link, Arrival, Buffered, FabricEngine, FlightInfo, InputBuffers, LinkOccupancy, RoundRobin,
+    dir_link, ActiveSet, Arrival, Buffered, FabricEngine, FlightInfo, InputBuffers, LinkOccupancy,
+    RoundRobin,
 };
 use crate::topology::{Direction, Mesh, NodeId};
 
@@ -32,17 +33,36 @@ struct Ssr {
     want_hops: u16,
 }
 
+/// Lanes per router: 5 input ports x 5 virtual networks.
+const LANES: usize = PORTS * VirtualNetwork::ALL.len();
+
 /// The SMART-NoC fabric engine.
 #[derive(Debug)]
 pub struct SmartFabric {
     cfg: NocConfig,
     mesh: Mesh,
     buffers: Vec<InputBuffers>,
+    /// Routers currently holding at least one buffered packet.
+    active: ActiveSet,
     arbiters: Vec<RoundRobin>,
     links: LinkOccupancy,
     in_flight: usize,
     buffer_writes: u64,
     premature_stops: u64,
+    // Persistent per-tick scratch (the per-cycle tick is the simulator's
+    // hottest loop; steady state must not allocate).
+    ssr_scratch: Vec<Ssr>,
+    claimed_scratch: Vec<bool>,
+    claimed_dirty: Vec<usize>,
+    travel_scratch: Vec<u16>,
+    active_scratch: Vec<bool>,
+    /// Per-direction switch-allocation candidates (lane indices) of the
+    /// router currently being scanned; only `cand_len` entries are live, so
+    /// the buffer needs no per-router re-initialization.
+    cand_scratch: [[usize; LANES]; 4],
+    /// Lane metadata of the router currently being scanned, valid only for
+    /// lanes listed in `cand_scratch`.
+    meta_scratch: [(usize, VirtualNetwork, u16); LANES],
 }
 
 impl SmartFabric {
@@ -56,11 +76,19 @@ impl SmartFabric {
             buffers: (0..nodes)
                 .map(|_| InputBuffers::new(PORTS, cfg.vn_buffer_capacity()))
                 .collect(),
+            active: ActiveSet::new(nodes),
             arbiters: (0..nodes * PORTS).map(|_| RoundRobin::new()).collect(),
             links: LinkOccupancy::new(nodes, PORTS),
             in_flight: 0,
             buffer_writes: 0,
             premature_stops: 0,
+            ssr_scratch: Vec::new(),
+            claimed_scratch: vec![false; nodes * 4],
+            claimed_dirty: Vec::new(),
+            travel_scratch: Vec::new(),
+            active_scratch: Vec::new(),
+            cand_scratch: [[0; LANES]; 4],
+            meta_scratch: [(0, VirtualNetwork::Request, 0); LANES],
         }
     }
 
@@ -100,51 +128,58 @@ impl FabricEngine for SmartFabric {
                 ready_at: now + 1,
             },
         );
+        self.active.set(flight.src.index());
         self.in_flight += 1;
         self.buffer_writes += 1;
     }
 
     fn tick(&mut self, now: u64, arrivals: &mut Vec<Arrival>) {
+        // All fabric packets live in router buffers between ticks; an empty
+        // fabric has nothing to arbitrate and nothing to move.
+        if self.in_flight == 0 {
+            return;
+        }
+
         // Phase 1 — local switch allocation + SSR generation.
         //
         // At each router, for each output direction, at most one ready head
         // packet wins the switch and broadcasts an SSR of length
-        // min(remaining-in-dimension, HPCmax).
-        let mut ssrs: Vec<Ssr> = Vec::new();
-        for node in self.mesh.nodes() {
-            let bufs = &self.buffers[node.index()];
-            if bufs.is_empty() {
-                continue;
-            }
-            for out in Direction::CARDINAL {
-                if !self.links.is_free(node, dir_link(out), now) {
+        // min(remaining-in-dimension, HPCmax). A single pass over the lanes
+        // buckets candidates per output direction (the route of a head is a
+        // function of the head alone, not of the direction being arbitrated);
+        // bucket order equals `lanes()` order, so round-robin outcomes are
+        // identical to scanning the lanes once per direction.
+        let mut ssrs: Vec<Ssr> = std::mem::take(&mut self.ssr_scratch);
+        debug_assert!(ssrs.is_empty());
+        for node_idx in self.active.iter() {
+            let node = NodeId(node_idx as u16);
+            let bufs = &self.buffers[node_idx];
+            debug_assert!(!bufs.is_empty(), "active set out of sync");
+            let mut cand_len = [0usize; 4];
+            for (lane_idx, port, vn) in bufs.occupied_lanes() {
+                let head = bufs.head(port, vn).expect("occupied lane has a head");
+                if head.ready_at > now {
                     continue;
                 }
-                let mut candidates: Vec<usize> = Vec::new();
-                let mut lane_of: Vec<(usize, VirtualNetwork, u16)> = Vec::new();
-                for (lane_idx, (port, vn)) in bufs.lanes().enumerate() {
-                    if let Some(head) = bufs.head(port, vn) {
-                        if head.ready_at <= now {
-                            if let Some((dir, hops)) = self.desired(node, &head.flight) {
-                                if dir == out && hops > 0 {
-                                    candidates.push(lane_idx);
-                                    lane_of.push((port, vn, hops));
-                                }
-                            }
-                        }
-                    }
+                let Some((dir, hops)) = self.desired(node, &head.flight) else {
+                    continue;
+                };
+                if hops == 0 || !self.links.is_free(node, dir_link(dir), now) {
+                    continue;
                 }
-                if candidates.is_empty() {
+                let d = dir.index();
+                self.cand_scratch[d][cand_len[d]] = lane_idx;
+                cand_len[d] += 1;
+                self.meta_scratch[lane_idx] = (port, vn, hops);
+            }
+            for out in Direction::CARDINAL {
+                let d = out.index();
+                if cand_len[d] == 0 {
                     continue;
                 }
                 let arb = &mut self.arbiters[node.index() * PORTS + dir_link(out)];
-                let total_lanes = PORTS * VirtualNetwork::ALL.len();
-                if let Some(winner) = arb.pick(&candidates, total_lanes) {
-                    let pos = candidates
-                        .iter()
-                        .position(|&c| c == winner)
-                        .expect("winner in list");
-                    let (port, vn, hops) = lane_of[pos];
+                if let Some(winner) = arb.pick(&self.cand_scratch[d][..cand_len[d]], LANES) {
+                    let (port, vn, hops) = self.meta_scratch[winner];
                     let head = self.buffers[node.index()]
                         .head(port, vn)
                         .expect("head exists");
@@ -168,14 +203,20 @@ impl FabricEngine for SmartFabric {
         // rule of the SMART paper. An SSR whose claim fails is truncated and
         // its flit stops (is prematurely buffered) at the router before the
         // contended link.
-        let nodes = self.mesh.len();
         // claimed[node * 4 + dir'] = true if the link leaving `node` in a
-        // cardinal direction has been claimed this cycle.
-        let mut claimed = vec![false; nodes * 4];
+        // cardinal direction has been claimed this cycle. The buffer lives
+        // in the struct and only the entries dirtied this tick are reset.
+        let mut claimed = std::mem::take(&mut self.claimed_scratch);
+        let mut claimed_dirty = std::mem::take(&mut self.claimed_dirty);
+        debug_assert!(claimed.iter().all(|c| !c) && claimed_dirty.is_empty());
         let claim_idx = |node: NodeId, dir: Direction| node.index() * 4 + dir_link(dir);
         // travel[i] = hops SSR i actually gets to traverse this cycle.
-        let mut travel: Vec<u16> = vec![0; ssrs.len()];
-        let mut active: Vec<bool> = ssrs.iter().map(|s| s.want_hops > 0).collect();
+        let mut travel = std::mem::take(&mut self.travel_scratch);
+        travel.clear();
+        travel.resize(ssrs.len(), 0);
+        let mut active = std::mem::take(&mut self.active_scratch);
+        active.clear();
+        active.extend(ssrs.iter().map(|s| s.want_hops > 0));
         let max_hops = self.cfg.hpc_max.max(1);
         for round in 0..max_hops {
             for (i, ssr) in ssrs.iter().enumerate() {
@@ -194,6 +235,7 @@ impl FabricEngine for SmartFabric {
                     }
                 } else {
                     claimed[idx] = true;
+                    claimed_dirty.push(idx);
                     travel[i] += 1;
                 }
             }
@@ -204,6 +246,12 @@ impl FabricEngine for SmartFabric {
                 self.premature_stops += u64::from(active[i]);
             }
         }
+        for idx in claimed_dirty.drain(..) {
+            claimed[idx] = false;
+        }
+        self.claimed_scratch = claimed;
+        self.claimed_dirty = claimed_dirty;
+        self.active_scratch = active;
 
         // Phase 3 — single-cycle multi-hop traversal (ST + LT) of the
         // granted paths. The flit is latched at the stop router at the end of
@@ -216,6 +264,9 @@ impl FabricEngine for SmartFabric {
             let buffered = self.buffers[ssr.start.index()]
                 .pop(ssr.port, ssr.flight.vn)
                 .expect("ssr packet present");
+            if self.buffers[ssr.start.index()].is_empty() {
+                self.active.clear(ssr.start.index());
+            }
             let mut flight = buffered.flight;
             let flits = flight.flits as u64;
             for h in 0..hops {
@@ -243,8 +294,42 @@ impl FabricEngine for SmartFabric {
                         ready_at: arrival_cycle + 1,
                     },
                 );
+                self.active.set(stop.index());
             }
         }
+        ssrs.clear();
+        self.ssr_scratch = ssrs;
+        self.travel_scratch = travel;
+    }
+
+    fn next_event(&self, now: u64) -> Option<u64> {
+        // An SSR can only be generated for a ready head whose first output
+        // link is free (phase 1); SSR arbitration (phase 2) happens within
+        // the same cycle and cannot create earlier work. The minimum over
+        // all heads of that eligibility cycle is therefore a safe wake-up.
+        let mut next: Option<u64> = None;
+        for node_idx in self.active.iter() {
+            let node = NodeId(node_idx as u16);
+            let bufs = &self.buffers[node_idx];
+            for (_, port, vn) in bufs.occupied_lanes() {
+                let head = bufs.head(port, vn).expect("occupied lane has a head");
+                let Some((dir, hops)) = self.desired(node, &head.flight) else {
+                    continue;
+                };
+                if hops == 0 {
+                    continue;
+                }
+                let e = head
+                    .ready_at
+                    .max(self.links.free_at(node, dir_link(dir)))
+                    .max(now);
+                if e == now {
+                    return Some(now);
+                }
+                next = Some(next.map_or(e, |n| n.min(e)));
+            }
+        }
+        next
     }
 
     fn in_flight(&self) -> usize {
@@ -356,6 +441,32 @@ mod tests {
         // A is delayed relative to running alone (which would be ~4 cycles).
         assert!(a.now > b.now || a.flight.stops > 2, "a {a:?} b {b:?}");
         assert!(fab.premature_stops() >= 1);
+    }
+
+    #[test]
+    fn next_event_bounds_every_state_change_from_below() {
+        let cfg = NocConfig::smart_mesh(8, 8, 4);
+        let mut fab = SmartFabric::new(cfg);
+        assert_eq!(fab.next_event(0), None, "empty fabric has no events");
+        // Corner to corner: 4 SMART-hops with stops at intermediate routers.
+        fab.inject(flight(1, 0, 63, 1), 0);
+        assert_eq!(fab.next_event(0), Some(1));
+        let mut arrivals = Vec::new();
+        let mut now = 0;
+        while fab.in_flight() > 0 {
+            let e = fab.next_event(now).expect("packet in flight");
+            assert!(e >= now, "bound must not regress");
+            for t in now..e {
+                fab.tick(t, &mut arrivals);
+                assert!(arrivals.is_empty(), "state changed before the bound");
+            }
+            fab.tick(e, &mut arrivals);
+            now = e + 1;
+            assert!(now < 100, "packet never arrived");
+        }
+        assert_eq!(arrivals.len(), 1);
+        assert_eq!(arrivals[0].flight.stops, 4);
+        assert_eq!(fab.next_event(now), None, "drained fabric is quiescent");
     }
 
     #[test]

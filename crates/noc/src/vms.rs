@@ -13,7 +13,7 @@
 //! network for any registered multicast group whose members form a grid.
 
 use crate::topology::{Coord, Direction, Mesh, NodeId};
-use std::collections::HashMap;
+use crate::fx::FxHashMap;
 
 /// The set of home nodes (one per cluster) that share a given home-node
 /// offset, i.e. one virtual mesh of the LOCO design.
@@ -118,7 +118,7 @@ pub struct MulticastTree {
     members: Vec<NodeId>,
     /// For each member: nearest member strictly east / west in the same row,
     /// and strictly north / south in the same column.
-    next: HashMap<NodeId, [Option<NodeId>; 4]>,
+    next: FxHashMap<NodeId, [Option<NodeId>; 4]>,
 }
 
 impl MulticastTree {
@@ -129,7 +129,7 @@ impl MulticastTree {
     /// Panics if `members` is empty.
     pub fn new(mesh: Mesh, members: Vec<NodeId>) -> Self {
         assert!(!members.is_empty(), "multicast group must not be empty");
-        let mut next: HashMap<NodeId, [Option<NodeId>; 4]> = HashMap::new();
+        let mut next: FxHashMap<NodeId, [Option<NodeId>; 4]> = FxHashMap::default();
         for &m in &members {
             let mc = mesh.coord(m);
             let mut slots: [Option<NodeId>; 4] = [None; 4];

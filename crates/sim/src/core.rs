@@ -39,6 +39,12 @@ pub struct CoreModel {
     stalled: bool,
     /// Barrier the core is waiting at (set after its flag access returns).
     waiting_barrier: Option<u32>,
+    /// Whether the barrier in `waiting_barrier` has been reported to the
+    /// system through a [`CoreStatus::AtBarrier`] tick at least once. Until
+    /// then the core must keep ticking (the system registers the arrival
+    /// from the returned status); afterwards further ticks are idempotent
+    /// re-registrations and event-driven runs may skip them.
+    barrier_announced: bool,
     /// Barrier access currently being performed (flag read outstanding).
     barrier_in_flight: Option<u32>,
     instructions: u64,
@@ -57,6 +63,7 @@ impl CoreModel {
             compute_remaining: 0,
             stalled: false,
             waiting_barrier: None,
+            barrier_announced: false,
             barrier_in_flight: None,
             instructions: 0,
             finished_at: None,
@@ -99,12 +106,29 @@ impl CoreModel {
         if let Some(id) = self.barrier_in_flight.take() {
             // The barrier flag access finished: now wait for the release.
             self.waiting_barrier = Some(id);
+            self.barrier_announced = false;
         }
     }
 
     /// Notification that the barrier this core was waiting at released.
     pub fn on_barrier_release(&mut self) {
         self.waiting_barrier = None;
+        self.barrier_announced = false;
+    }
+
+    /// Whether skipping this core's [`CoreModel::tick`] next cycle would
+    /// change observable behaviour.
+    ///
+    /// `false` exactly when the tick is provably a no-op: the trace is
+    /// finished, the core is stalled on an outstanding L1 fill (woken by
+    /// [`CoreModel::on_fill`]), or it sits at a barrier whose arrival has
+    /// already been announced (woken by [`CoreModel::on_barrier_release`]).
+    /// Everything else — compute, ready memory ops, a pending finish
+    /// transition, an unannounced barrier — must tick every cycle.
+    pub fn needs_tick(&self) -> bool {
+        !self.is_finished()
+            && !self.stalled
+            && (self.waiting_barrier.is_none() || !self.barrier_announced)
     }
 
     /// The barrier this core is currently waiting at, if any.
@@ -131,6 +155,7 @@ impl CoreModel {
             return CoreStatus::Stalled;
         }
         if let Some(id) = self.waiting_barrier {
+            self.barrier_announced = true;
             return CoreStatus::AtBarrier(id);
         }
         if self.compute_remaining > 0 {
@@ -179,6 +204,7 @@ impl CoreModel {
                 match l1.access(flag, false, now, out) {
                     L1Access::Hit => {
                         self.waiting_barrier = Some(id);
+                        self.barrier_announced = true;
                         CoreStatus::AtBarrier(id)
                     }
                     L1Access::Miss => {

@@ -1,5 +1,51 @@
 //! The simulated CMP: cores, caches, directories, memory controllers and the
-//! NoC, advanced cycle by cycle.
+//! NoC.
+//!
+//! # Two execution modes, one semantics
+//!
+//! [`CmpSystem::step`] is the *naive reference*: it advances every component
+//! by exactly one cycle, and its behaviour defines the simulation. On top of
+//! it, [`CmpSystem::run`] is an **event-driven scheduler with cycle
+//! skipping**: after each stepped cycle it computes the earliest future
+//! cycle at which *any* component can act and fast-forwards the clock across
+//! the dead cycles in between (e.g. the 200-cycle DRAM latency while every
+//! core is stalled). [`CmpSystem::run_naive`] keeps the literal per-cycle
+//! loop; the two must produce bit-identical [`SimResults`] (locked in by the
+//! root `tests/equivalence.rs` suite).
+//!
+//! # Event-driven invariants
+//!
+//! Cycle skipping is exact because a skipped cycle is provably a no-op step.
+//! Every time-dependent component therefore exposes its schedule:
+//!
+//! * **Cores** — [`CoreModel::needs_tick`] is `false` only when a tick
+//!   cannot change state (finished, stalled on a fill, or parked at an
+//!   already-announced barrier). Any core that needs a tick forces the next
+//!   step to happen on the very next cycle.
+//! * **Pending protocol messages** — the local-delay heap is keyed by its
+//!   ready cycle; the earliest entry names the next injection cycle.
+//! * **NoC retries** — messages bounced by back-pressure retry every cycle,
+//!   so a non-empty retry queue disables skipping entirely (conservative,
+//!   and rare outside saturation).
+//! * **Memory controllers** — `MemoryController::next_event` is the
+//!   earliest pending DRAM `fire_at`.
+//! * **Network** — while the NoC holds any packet (`Network::is_busy`),
+//!   events are dense and the horizon is pinned to the next cycle without
+//!   probing further; skipping is only attempted once the network has fully
+//!   drained, at which point `Network::next_event` — the queued-arrival
+//!   heap combined with each fabric engine's quiescence probe
+//!   (`FabricEngine::next_event`) — is trivially `None`. The probes exist
+//!   for event-driven callers of the `Network` API directly (they are
+//!   unit-tested per engine); if the busy-network guard is ever relaxed,
+//!   they become load-bearing here and must be covered by the equivalence
+//!   suite. They are conservative from below: they may name a cycle where
+//!   arbitration then denies every move — such a step changes no state —
+//!   but they never skip past a live event.
+//!
+//! Anyone adding new time-dependent state to the system must either expose
+//! its next event in [`CmpSystem`]'s horizon computation or force per-cycle
+//! stepping while that state is active, otherwise `run` silently diverges
+//! from `run_naive` (and the equivalence suite fails).
 
 use crate::config::SystemConfig;
 use crate::core::{CoreModel, CoreStatus};
@@ -8,10 +54,12 @@ use loco_cache::{
     CacheStats, DirectoryController, L1Controller, L2Controller, MemoryController, MemoryMap,
     MsgKind, Organization, Outgoing, ProtocolMsg, ResponseSource, Unit,
 };
-use loco_noc::{Delivered, Destination, MulticastGroupId, NetMessage, Network, NodeId};
+use loco_noc::{
+    Delivered, Destination, FxHashMap, FxHashSet, MulticastGroupId, NetMessage, Network, NodeId,
+};
 use loco_workloads::CoreTrace;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A protocol message waiting out its local processing delay before being
 /// injected into the network at `node`.
@@ -36,8 +84,8 @@ impl PartialOrd for Pending {
 
 #[derive(Debug, Default)]
 struct BarrierTracker {
-    group_sizes: HashMap<usize, usize>,
-    arrivals: HashMap<(usize, u32), HashSet<usize>>,
+    group_sizes: FxHashMap<usize, usize>,
+    arrivals: FxHashMap<(usize, u32), FxHashSet<usize>>,
 }
 
 impl BarrierTracker {
@@ -65,14 +113,35 @@ pub struct CmpSystem {
     cores: Vec<CoreModel>,
     l1s: Vec<L1Controller>,
     l2s: Vec<L2Controller>,
-    dirs: HashMap<NodeId, DirectoryController>,
-    mems: HashMap<NodeId, MemoryController>,
-    vms_groups: HashMap<u64, MulticastGroupId>,
+    dirs: FxHashMap<NodeId, DirectoryController>,
+    mems: FxHashMap<NodeId, MemoryController>,
+    /// Memory-controller nodes in ascending order: the per-cycle DRAM tick
+    /// iterates this instead of re-collecting (and re-ordering) map keys.
+    mem_nodes: Vec<NodeId>,
+    vms_groups: FxHashMap<u64, MulticastGroupId>,
     pending: BinaryHeap<Reverse<Pending>>,
     retry: VecDeque<NetMessage<ProtocolMsg>>,
     barriers: BarrierTracker,
     now: u64,
     seq: u64,
+    /// Number of `step()` calls executed (diagnostic: `cycle() -
+    /// steps_executed()` is how many dead cycles the event-driven scheduler
+    /// skipped).
+    steps_executed: u64,
+    // Persistent per-step scratch buffers: the step loop is the simulator's
+    // hottest path and must not allocate in steady state.
+    outgoing_scratch: Vec<Outgoing>,
+    inject_scratch: Vec<NetMessage<ProtocolMsg>>,
+    delivery_scratch: Vec<Delivered<ProtocolMsg>>,
+    /// Bitset mirror of `CoreModel::needs_tick` per core, maintained at
+    /// every transition (after a tick, on fill, on barrier release). The
+    /// per-cycle core loop walks set bits instead of probing every core, and
+    /// the event horizon's "any core runnable?" probe becomes O(words).
+    runnable: Vec<u64>,
+    /// Cores whose trace has completed (a one-way transition, counted when a
+    /// core's tick first reports it), making `all_finished` O(1) instead of
+    /// an O(cores) scan per cycle.
+    finished_count: usize,
     // System-level latency accounting (attributed at L1 fill time).
     l2_hit_latency_sum: u64,
     l2_hit_latency_count: u64,
@@ -115,7 +184,7 @@ impl CmpSystem {
         let mut network = Network::new(cfg.noc_config());
 
         // Pre-register one multicast group per virtual mesh (one per HNid).
-        let mut vms_groups = HashMap::new();
+        let mut vms_groups = FxHashMap::default();
         if org.uses_vms() {
             for hnid in 0..org.num_vms() as u64 {
                 let members = org.vms_members(loco_cache::LineAddr(hnid));
@@ -142,16 +211,18 @@ impl CmpSystem {
         let l2s: Vec<L2Controller> = (0..cores_n)
             .map(|i| L2Controller::new(NodeId(i as u16), cfg.l2, org, memmap.clone()))
             .collect();
-        let dirs: HashMap<NodeId, DirectoryController> = memmap
+        let dirs: FxHashMap<NodeId, DirectoryController> = memmap
             .controllers()
             .iter()
             .map(|&n| (n, DirectoryController::new(n, cfg.dir, org)))
             .collect();
-        let mems: HashMap<NodeId, MemoryController> = memmap
+        let mems: FxHashMap<NodeId, MemoryController> = memmap
             .controllers()
             .iter()
             .map(|&n| (n, MemoryController::new(n, cfg.mem)))
             .collect();
+        let mut mem_nodes: Vec<NodeId> = memmap.controllers().to_vec();
+        mem_nodes.sort_unstable();
 
         CmpSystem {
             cfg,
@@ -163,12 +234,27 @@ impl CmpSystem {
             l2s,
             dirs,
             mems,
+            mem_nodes,
             vms_groups,
             pending: BinaryHeap::new(),
             retry: VecDeque::new(),
             barriers,
             now: 0,
             seq: 0,
+            steps_executed: 0,
+            outgoing_scratch: Vec::new(),
+            inject_scratch: Vec::new(),
+            delivery_scratch: Vec::new(),
+            // Every core starts runnable (even an empty trace needs one tick
+            // to record its finish, exactly as in naive stepping).
+            runnable: {
+                let mut words = vec![0u64; cores_n.div_ceil(64)];
+                for i in 0..cores_n {
+                    words[i / 64] |= 1 << (i % 64);
+                }
+                words
+            },
+            finished_count: 0,
             l2_hit_latency_sum: 0,
             l2_hit_latency_count: 0,
             miss_latency_sum: 0,
@@ -186,13 +272,26 @@ impl CmpSystem {
         self.now
     }
 
-    /// Whether every core has finished its trace.
-    pub fn all_finished(&self) -> bool {
-        self.cores.iter().all(CoreModel::is_finished)
+    /// Number of cycles actually stepped so far; the difference to
+    /// [`CmpSystem::cycle`] is the dead time the event-driven scheduler
+    /// skipped.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
     }
 
-    fn schedule(&mut self, node: NodeId, outgoing: Vec<Outgoing>) {
-        for o in outgoing {
+    /// Whether every core has finished its trace.
+    pub fn all_finished(&self) -> bool {
+        debug_assert_eq!(
+            self.finished_count == self.cores.len(),
+            self.cores.iter().all(CoreModel::is_finished)
+        );
+        self.finished_count == self.cores.len()
+    }
+
+    /// Drains `outgoing` into the pending-injection heap (the buffer is a
+    /// reusable scratch; its capacity survives for the next caller).
+    fn schedule(&mut self, node: NodeId, outgoing: &mut Vec<Outgoing>) {
+        for o in outgoing.drain(..) {
             self.seq += 1;
             self.pending.push(Reverse(Pending {
                 ready: self.now + o.delay,
@@ -221,14 +320,14 @@ impl CmpSystem {
         }
     }
 
-    fn dispatch(&mut self, delivered: Delivered<ProtocolMsg>) {
+    fn dispatch(&mut self, delivered: Delivered<ProtocolMsg>, out: &mut Vec<Outgoing>) {
         let node = delivered.receiver;
         let msg = delivered.msg.payload;
         let idx = node.index();
-        let mut out = Vec::new();
+        debug_assert!(out.is_empty());
         match msg.dst.unit {
             Unit::L1 => {
-                if let Some(fill) = self.l1s[idx].handle(msg, self.now, &mut out) {
+                if let Some(fill) = self.l1s[idx].handle(msg, self.now, out) {
                     let latency = fill.completed_at.saturating_sub(fill.issued_at);
                     self.miss_latency_sum += latency;
                     self.miss_latency_count += 1;
@@ -237,48 +336,70 @@ impl CmpSystem {
                         self.l2_hit_latency_count += 1;
                     }
                     self.cores[idx].on_fill();
+                    self.runnable[idx / 64] |= 1 << (idx % 64);
                 }
             }
-            Unit::L2 => self.l2s[idx].handle(msg, self.now, &mut out),
+            Unit::L2 => self.l2s[idx].handle(msg, self.now, out),
             Unit::Dir => {
                 self.dirs
                     .get_mut(&node)
                     .expect("directory at memory-controller node")
-                    .handle(msg, self.now, &mut out);
+                    .handle(msg, self.now, out);
             }
             Unit::Mem => {
                 self.mems
                     .get_mut(&node)
                     .expect("memory controller node")
-                    .handle(msg, self.now, &mut out);
+                    .handle(msg, self.now, out);
             }
         }
         self.schedule(node, out);
     }
 
-    /// Advances the system by one cycle.
+    /// Advances the system by exactly one cycle (the naive reference
+    /// semantics — see the module docs).
     pub fn step(&mut self) {
         let now = self.now;
+        self.steps_executed += 1;
         let model_barriers = self.cfg.full_system;
 
-        // 1. Cores issue instructions.
+        // 1. Cores issue instructions. Quiescent cores are skipped: their
+        // tick is a proven no-op (see `CoreModel::needs_tick`), so skipping
+        // is exact in both execution modes. The runnable bitset mirrors
+        // `needs_tick` and is walked in ascending core order, matching the
+        // naive full scan.
         let mut completed_barriers: Vec<(usize, u32)> = Vec::new();
-        for i in 0..self.cores.len() {
-            let mut out = Vec::new();
-            let status = self.cores[i].tick(now, &mut self.l1s[i], &mut out, model_barriers);
-            if let CoreStatus::AtBarrier(id) = status {
-                let group = self.cores[i].group();
-                if self.barriers.arrive(group, id, i) {
-                    completed_barriers.push((group, id));
+        let mut out = std::mem::take(&mut self.outgoing_scratch);
+        debug_assert!(out.is_empty());
+        for w in 0..self.runnable.len() {
+            let mut bits = self.runnable[w];
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let status = self.cores[i].tick(now, &mut self.l1s[i], &mut out, model_barriers);
+                if let CoreStatus::AtBarrier(id) = status {
+                    let group = self.cores[i].group();
+                    if self.barriers.arrive(group, id, i) {
+                        completed_barriers.push((group, id));
+                    }
                 }
-            }
-            if !out.is_empty() {
-                self.schedule(NodeId(i as u16), out);
+                if !self.cores[i].needs_tick() {
+                    self.runnable[w] &= !(1 << (i % 64));
+                    // A finished core leaves the runnable set for good; this
+                    // is the only place the transition can be observed.
+                    if self.cores[i].is_finished() {
+                        self.finished_count += 1;
+                    }
+                }
+                if !out.is_empty() {
+                    self.schedule(NodeId(i as u16), &mut out);
+                }
             }
         }
         for (group, id) in completed_barriers {
             for core_idx in self.barriers.release(group, id) {
                 self.cores[core_idx].on_barrier_release();
+                self.runnable[core_idx / 64] |= 1 << (core_idx % 64);
             }
             // Also release any cores of the group that arrive exactly now
             // (handled next cycle through the tracker being empty is fine:
@@ -286,7 +407,8 @@ impl CmpSystem {
         }
 
         // 2. Messages whose local processing delay elapsed are injected.
-        let mut to_inject: Vec<NetMessage<ProtocolMsg>> = Vec::new();
+        let mut to_inject = std::mem::take(&mut self.inject_scratch);
+        debug_assert!(to_inject.is_empty());
         while let Some(Reverse(p)) = self.pending.peek() {
             if p.ready > now {
                 break;
@@ -294,45 +416,131 @@ impl CmpSystem {
             let Reverse(p) = self.pending.pop().expect("peeked element");
             to_inject.push(self.to_net(p.node, p.msg));
         }
-        // Retries first (older messages), then the newly ready ones.
+        // Retries first (older messages), then the newly ready ones. A
+        // rejected message travels back out through the error, so nothing is
+        // cloned speculatively on this path.
         let mut still_waiting = VecDeque::new();
         while let Some(m) = self.retry.pop_front() {
-            if self.network.inject(m.clone()).is_err() {
-                still_waiting.push_back(m);
+            if let Err(rejected) = self.network.inject(m) {
+                still_waiting.push_back(rejected.into_message());
             }
         }
-        for m in to_inject {
-            if self.network.inject(m.clone()).is_err() {
-                still_waiting.push_back(m);
+        for m in to_inject.drain(..) {
+            if let Err(rejected) = self.network.inject(m) {
+                still_waiting.push_back(rejected.into_message());
             }
         }
+        self.inject_scratch = to_inject;
         self.retry = still_waiting;
 
         // 3. Memory controllers release DRAM responses whose latency elapsed.
-        let mem_nodes: Vec<NodeId> = self.mems.keys().copied().collect();
-        for node in mem_nodes {
-            let mut out = Vec::new();
+        for i in 0..self.mem_nodes.len() {
+            let node = self.mem_nodes[i];
             self.mems
                 .get_mut(&node)
                 .expect("memory controller")
                 .tick(now, &mut out);
             if !out.is_empty() {
-                self.schedule(node, out);
+                self.schedule(node, &mut out);
             }
         }
 
         // 4. The fabric advances one cycle and deliveries are dispatched.
         self.network.tick();
-        for delivered in self.network.eject_all() {
-            self.dispatch(delivered);
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        debug_assert!(deliveries.is_empty());
+        self.network.eject_all_into(&mut deliveries);
+        for delivered in deliveries.drain(..) {
+            self.dispatch(delivered, &mut out);
         }
+        self.delivery_scratch = deliveries;
+        self.outgoing_scratch = out;
 
         self.now += 1;
     }
 
+    /// Earliest cycle `>= self.now` at which [`CmpSystem::step`] can make
+    /// progress, or `None` when no component will ever act again on its own
+    /// (every remaining naive step would be a no-op).
+    ///
+    /// See the module docs for the per-component event sources and why the
+    /// bound is exact.
+    fn next_step_cycle(&self) -> Option<u64> {
+        // A runnable core retires work every cycle; an unannounced barrier
+        // arrival must also tick immediately. Checked first because it is
+        // the cheapest probe (one bitset scan) and, during compute-dense
+        // phases, short-circuits the fabric scan below.
+        if self.runnable.iter().any(|&w| w != 0) {
+            debug_assert!(self.cores.iter().any(CoreModel::needs_tick));
+            return Some(self.now);
+        }
+        debug_assert!(!self.cores.iter().any(CoreModel::needs_tick));
+        // Messages bounced by injection back-pressure retry every cycle.
+        if !self.retry.is_empty() {
+            return Some(self.now);
+        }
+        // With traffic in the NoC, events are dense (a packet moves or gets
+        // re-arbitrated nearly every cycle): probing the fabric for a skip
+        // window costs more than the skip saves, so step cycle by cycle and
+        // only hunt for a horizon once the network has fully drained. This
+        // is purely conservative — skipping less can never change results.
+        if self.network.is_busy() {
+            return Some(self.now);
+        }
+        // Events can be timestamped at or before `self.now` (e.g. a message
+        // scheduled with zero delay during the dispatch phase of the step
+        // that just ran): the naive loop would act on those on the very next
+        // cycle, so they clamp to "step immediately".
+        let mut next: Option<u64> = None;
+        let mut fold = |candidate: u64| {
+            let candidate = candidate.max(self.now);
+            next = Some(next.map_or(candidate, |n: u64| n.min(candidate)));
+        };
+        if let Some(Reverse(p)) = self.pending.peek() {
+            fold(p.ready);
+        }
+        for node in &self.mem_nodes {
+            if let Some(t) = self.mems[node].next_event() {
+                fold(t);
+            }
+        }
+        if let Some(t) = self.network.next_event() {
+            fold(t);
+        }
+        next
+    }
+
     /// Runs until every core finishes or `max_cycles` elapse, and returns
     /// the aggregated results.
+    ///
+    /// This is the event-driven scheduler: dead cycles between events (DRAM
+    /// waits, in-flight NoC gaps) are skipped wholesale. The results are
+    /// bit-identical to [`CmpSystem::run_naive`]; see the module docs for
+    /// the invariants that make the skipping exact.
     pub fn run(&mut self, max_cycles: u64) -> SimResults {
+        while !self.all_finished() && self.now < max_cycles {
+            self.step();
+            if self.all_finished() || self.now >= max_cycles {
+                break;
+            }
+            // Fast-forward across provably dead cycles. A fully quiescent
+            // system (no future event at all) jumps straight to the cycle
+            // budget, exactly where the naive no-op loop would end up.
+            let target = self.next_step_cycle().unwrap_or(max_cycles).min(max_cycles);
+            if target > self.now {
+                self.network.advance_to(target);
+                self.now = target;
+            }
+        }
+        self.results()
+    }
+
+    /// Runs the naive per-cycle loop: [`CmpSystem::step`] for every single
+    /// cycle, with no skipping. This is the reference semantics that
+    /// [`CmpSystem::run`] must reproduce bit-for-bit; it is kept (and
+    /// exercised by the equivalence suite) as the oracle for the
+    /// event-driven scheduler.
+    pub fn run_naive(&mut self, max_cycles: u64) -> SimResults {
         while !self.all_finished() && self.now < max_cycles {
             self.step();
         }
@@ -506,6 +714,31 @@ mod tests {
         let mut sys = CmpSystem::new(cfg, traces);
         let r = sys.run(6_000_000);
         assert!(r.completed, "barrier workload must not deadlock");
+    }
+
+    #[test]
+    fn event_driven_run_matches_naive_run_bit_for_bit() {
+        // The root tests/equivalence.rs suite covers every organization and
+        // router; this is the fast in-crate canary.
+        let cfg = small_cfg(OrganizationKind::LocoCcVms);
+        let traces = small_traces(200, 16);
+        let event = CmpSystem::new(cfg, traces.clone()).run(2_000_000);
+        let naive = CmpSystem::new(cfg, traces).run_naive(2_000_000);
+        assert!(event.completed);
+        assert_eq!(format!("{event:?}"), format!("{naive:?}"));
+    }
+
+    #[test]
+    fn cycle_budget_is_respected_with_skipping() {
+        // A budget that expires mid-flight: both modes must stop at exactly
+        // the same cycle with the same partial results.
+        let cfg = small_cfg(OrganizationKind::Private);
+        let traces = small_traces(200, 16);
+        let event = CmpSystem::new(cfg, traces.clone()).run(700);
+        let naive = CmpSystem::new(cfg, traces).run_naive(700);
+        assert!(!event.completed, "budget chosen to interrupt the run");
+        assert_eq!(event.runtime_cycles, 700);
+        assert_eq!(format!("{event:?}"), format!("{naive:?}"));
     }
 
     #[test]

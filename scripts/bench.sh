@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Times the quickstart campaign (lu on full LOCO and on the shared-cache
+# baseline) and records the numbers in BENCH_results.json, comparing against
+# the previously committed numbers so the perf trajectory is tracked across
+# PRs. All arguments are forwarded to the bench_campaign binary:
+#
+#   scripts/bench.sh                 # full 64-core campaign -> BENCH_results.json
+#   scripts/bench.sh --quick --samples 1 --out target/BENCH_smoke.json
+#
+# See `bench_campaign --help` for --baseline-ms / --baseline-label (used once
+# to seed the trajectory with the pre-PR wall clock).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -q -p loco-bench --bin bench_campaign
+exec ./target/release/bench_campaign "$@"

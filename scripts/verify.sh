@@ -18,4 +18,10 @@ cargo test --doc -q --offline
 echo "==> cargo build --workspace --all-targets (benches, examples, reproduce)"
 cargo build --workspace --all-targets --offline
 
+echo "==> equivalence suite (event-driven == naive stepping, bit for bit)"
+cargo test -q --offline --test equivalence
+
+echo "==> bench smoke (--quick campaign, timings to target/)"
+sh scripts/bench.sh --quick --samples 1 --out target/BENCH_smoke.json
+
 echo "==> verify OK"

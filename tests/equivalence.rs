@@ -1,0 +1,137 @@
+//! The event-driven scheduler's contract: `CmpSystem::run` (cycle skipping)
+//! must produce results bit-identical to `CmpSystem::run_naive` (one `step`
+//! per cycle) on every organization, every router micro-architecture, and
+//! the synchronization-heavy full-system mode. A skipped cycle is only legal
+//! if the naive step at that cycle would have been a no-op; this suite is
+//! the oracle for that claim (see the `loco_sim::system` module docs for the
+//! per-component invariants).
+
+use loco::{
+    Benchmark, CmpSystem, ClusterShape, OrganizationKind, RouterKind, SimResults,
+    SimulationBuilder, SystemConfig, TraceGenerator,
+};
+
+const ALL_ORGS: [OrganizationKind; 5] = [
+    OrganizationKind::Private,
+    OrganizationKind::Shared,
+    OrganizationKind::LocoCc,
+    OrganizationKind::LocoCcVms,
+    OrganizationKind::LocoCcVmsIvr,
+];
+
+fn builder(org: OrganizationKind) -> SimulationBuilder {
+    // A small mesh keeps the naive runs fast; 300 memory ops per core is
+    // enough to exercise misses, broadcasts, IVR migrations and retries.
+    SimulationBuilder::new()
+        .mesh(4, 4)
+        .cluster(2, 2)
+        .organization(org)
+        .benchmark(Benchmark::Barnes)
+        .memory_ops_per_core(300)
+        .seed(11)
+}
+
+/// Bit-exact comparison: the Debug rendering covers every field of
+/// `SimResults`, including all cache/network counters and float averages.
+fn assert_identical(label: &str, event: &SimResults, naive: &SimResults) {
+    assert_eq!(
+        format!("{event:?}"),
+        format!("{naive:?}"),
+        "{label}: event-driven results diverged from naive stepping"
+    );
+}
+
+#[test]
+fn every_organization_is_equivalent_under_cycle_skipping() {
+    for org in ALL_ORGS {
+        let b = builder(org);
+        let event = b.build().run(8_000_000);
+        let naive = b.build().run_naive(8_000_000);
+        assert!(event.completed, "{org:?} must complete");
+        assert_identical(&format!("{org:?}"), &event, &naive);
+    }
+}
+
+#[test]
+fn every_router_kind_is_equivalent_under_cycle_skipping() {
+    for router in [RouterKind::Smart, RouterKind::Conventional, RouterKind::HighRadix] {
+        let b = builder(OrganizationKind::LocoCcVms).router(router);
+        let event = b.build().run(8_000_000);
+        let naive = b.build().run_naive(8_000_000);
+        assert!(event.completed, "{router:?} must complete");
+        assert_identical(&format!("{router:?}"), &event, &naive);
+    }
+}
+
+#[test]
+fn full_system_barrier_mode_is_equivalent_under_cycle_skipping() {
+    // Barriers are the subtlest case: a waiting core's arrival registration
+    // must happen on exactly the same cycle in both modes, and a core parked
+    // at an announced barrier must be skippable without losing the release.
+    let b = SimulationBuilder::new()
+        .mesh(4, 4)
+        .cluster(2, 2)
+        .organization(OrganizationKind::LocoCcVms)
+        .benchmark(Benchmark::Fft)
+        .memory_ops_per_core(250)
+        .full_system(true)
+        .seed(23);
+    let event = b.build().run(8_000_000);
+    let naive = b.build().run_naive(8_000_000);
+    assert!(event.completed, "barrier workload must not deadlock");
+    assert_identical("full-system barriers", &event, &naive);
+}
+
+#[test]
+fn multiprogram_barrier_groups_are_equivalent_under_cycle_skipping() {
+    // Distinct barrier groups (multi-program consolidation) exercise the
+    // per-group arrival bookkeeping.
+    let mut cfg = SystemConfig::asplos_64(OrganizationKind::LocoCcVmsIvr);
+    cfg.mesh_width = 4;
+    cfg.mesh_height = 4;
+    cfg.cluster = ClusterShape::new(2, 2);
+    cfg.full_system = true;
+    let spec = Benchmark::Lu.spec();
+    let traces = TraceGenerator::new(5).with_barriers(true).generate(&spec, 16, 200);
+    let groups: Vec<usize> = (0..16).map(|i| i / 8).collect();
+    let event = CmpSystem::with_groups(cfg, traces.clone(), groups.clone()).run(8_000_000);
+    let naive = CmpSystem::with_groups(cfg, traces, groups).run_naive(8_000_000);
+    assert!(event.completed);
+    assert_identical("multi-program groups", &event, &naive);
+}
+
+#[test]
+fn cycle_skipping_actually_skips_dead_cycles() {
+    // Guard against the scheduler silently degenerating into the naive loop:
+    // on a memory-bound run the event-driven mode must fast-forward at least
+    // some DRAM dead time.
+    let b = builder(OrganizationKind::Shared);
+    let mut event = b.build();
+    event.run(8_000_000);
+    assert!(
+        event.steps_executed() < event.cycle(),
+        "no cycles were skipped ({} steps over {} cycles)",
+        event.steps_executed(),
+        event.cycle()
+    );
+    let mut naive = b.build();
+    naive.run_naive(8_000_000);
+    assert_eq!(
+        naive.steps_executed(),
+        naive.cycle(),
+        "naive stepping must step every cycle"
+    );
+}
+
+#[test]
+fn truncated_runs_stop_on_the_same_cycle() {
+    // A cycle budget that expires mid-flight must leave both modes in the
+    // same observable state (runtime clamped to the budget, partial stats
+    // identical).
+    let b = builder(OrganizationKind::LocoCcVmsIvr);
+    let event = b.build().run(900);
+    let naive = b.build().run_naive(900);
+    assert!(!event.completed, "budget chosen to interrupt the run");
+    assert_eq!(event.runtime_cycles, 900);
+    assert_identical("truncated run", &event, &naive);
+}
