@@ -1,6 +1,10 @@
 //! Times the quickstart campaign (`lu` on full LOCO and on the shared-cache
 //! baseline) and writes the timings to `BENCH_results.json`, so the
-//! simulator's perf trajectory is tracked across PRs.
+//! simulator's perf trajectory is tracked across PRs. It also times the
+//! full quick-scale figure campaign (figures 6–16, every scenario
+//! deduplicated) under the parallel `loco::campaign::Executor` at 1/2/4/8
+//! workers — the thread-scaling trajectory of the campaign engine — and
+//! asserts the assembled figures are identical for every worker count.
 //!
 //! Each campaign entry is timed in both execution modes — the event-driven
 //! cycle-skipping scheduler (`CmpSystem::run`, the product path) and naive
@@ -24,9 +28,11 @@
 //! `scripts/verify.sh` exercises); the default full scale is the paper's
 //! 64-core CMP, exactly as `examples/quickstart.rs` runs it.
 
+use loco::campaign::{CampaignPlan, Executor};
 use loco::json::{parse, Value};
-use loco::{Benchmark, OrganizationKind, SimulationBuilder};
+use loco::{Benchmark, ExperimentParams, Figure, OrganizationKind, SimulationBuilder};
 use loco_bench::timing::Summary;
+use loco_bench::{figure_specs, Scale};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -124,6 +130,77 @@ fn summary_json(s: &Summary) -> Value {
     ])
 }
 
+/// Times the quick-scale figure campaign (figures 6–16) at 1/2/4/8 executor
+/// workers, asserting the assembled figures are identical for every worker
+/// count, and returns the JSON record for `BENCH_results.json`.
+fn time_campaign_scaling(samples: usize) -> Value {
+    let scale = Scale::Quick;
+    let params = ExperimentParams::quick();
+    let all_figures: Vec<u32> = (6..=16).collect();
+    let specs = figure_specs(scale, &all_figures, None);
+    let mut plan = CampaignPlan::new();
+    for spec in &specs {
+        plan.add_figure(spec, &params);
+    }
+    let assemble = |results: &loco::ResultSet| -> Vec<Figure> {
+        specs
+            .iter()
+            .flat_map(|s| s.assemble(&params, results))
+            .collect()
+    };
+    // Untimed 1-thread warm-up doubles as the determinism oracle.
+    let reference = assemble(&Executor::new(1).execute(&params, &plan));
+
+    let mut rows = Vec::new();
+    let mut median_1t: Option<Duration> = None;
+    let mut median_4t: Option<Duration> = None;
+    for &threads in &[1usize, 2, 4, 8] {
+        let executor = Executor::new(threads);
+        let mut durations = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            let results = executor.execute(&params, &plan);
+            durations.push(start.elapsed());
+            assert_eq!(
+                assemble(&results),
+                reference,
+                "figures diverged at {threads} executor workers"
+            );
+        }
+        let summary = Summary::from_samples(&durations).expect("samples > 0");
+        println!(
+            "campaign quick/fig06-16  {threads} worker(s): {:>10.1?} (median, {} scenarios)",
+            summary.median,
+            plan.len()
+        );
+        if threads == 1 {
+            median_1t = Some(summary.median);
+        }
+        if threads == 4 {
+            median_4t = Some(summary.median);
+        }
+        rows.push(Value::Object(vec![
+            ("threads".into(), Value::Number(threads as f64)),
+            ("summary".into(), summary_json(&summary)),
+            ("figures_identical".into(), Value::Bool(true)),
+        ]));
+    }
+    let speedup_4t =
+        median_1t.expect("1-thread row").as_secs_f64() / median_4t.expect("4-thread row").as_secs_f64();
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "campaign scaling         4-worker speedup {speedup_4t:.2}x over 1 worker \
+         ({hardware} hardware thread(s) available)"
+    );
+    Value::Object(vec![
+        ("campaign".into(), Value::String("quick figures 6-16 (plan/execute/assemble)".into())),
+        ("scenarios".into(), Value::Number(plan.len() as f64)),
+        ("hardware_threads".into(), Value::Number(hardware as f64)),
+        ("rows".into(), Value::Array(rows)),
+        ("speedup_4_threads".into(), Value::Number(speedup_4t)),
+    ])
+}
+
 /// The baseline to compare against: explicit flag, else the previous
 /// `--out` file's event-driven total.
 fn resolve_baseline(args: &Args) -> Option<(f64, String)> {
@@ -198,8 +275,10 @@ fn main() {
         println!("campaign total           event-driven {event_total:>10.1?} (no baseline on record)");
     }
 
+    let campaign_scaling = time_campaign_scaling(args.samples);
+
     let doc = Value::Object(vec![
-        ("schema".into(), Value::String("loco-bench-campaign/1".into())),
+        ("schema".into(), Value::String("loco-bench-campaign/2".into())),
         (
             "campaign".into(),
             Value::String("quickstart (lu, LOCO CC+VMS+IVR vs shared)".into()),
@@ -212,6 +291,7 @@ fn main() {
         ("baseline".into(), baseline_value),
         ("runs".into(), Value::Array(runs)),
         ("total".into(), Value::Object(total_fields)),
+        ("campaign_scaling".into(), campaign_scaling),
     ]);
     std::fs::write(&args.out, doc.to_pretty() + "\n").expect("write BENCH results");
     println!("wrote {}", args.out);

@@ -1,93 +1,184 @@
-//! Regenerates every table and figure of the LOCO ASPLOS 2014 evaluation.
+//! Regenerates every table and figure of the LOCO ASPLOS 2014 evaluation —
+//! as one *campaign*: the requested figures are planned (their scenarios
+//! enumerated and deduplicated), executed in parallel across all cores, and
+//! assembled from the completed result set.
 //!
 //! ```text
-//! cargo run --release -p loco-bench --bin reproduce -- [--scale quick|64|256]
-//!     [--fig 6|7|8|9|10|11|12|13|14|15|16|all] [--mem-ops N] [--json DIR]
+//! cargo run --release -p loco-bench --bin reproduce -- \
+//!     [--params quick|paper64|paper256] [--figures fig06,fig11,...|all] \
+//!     [--threads N] [--json out.json] [--markdown EXPERIMENTS.md] \
+//!     [--benchmarks lu,fft,...] [--mem-ops N]
 //! ```
 //!
-//! Output is a text table per figure (series labels match the paper's
-//! legends); `--json DIR` additionally dumps each figure as JSON so
-//! EXPERIMENTS.md can be refreshed mechanically.
+//! * `--params` — the experiment scale (default `paper64`; the original
+//!   `--scale quick|64|256` spelling is still accepted).
+//! * `--figures` — comma-separated figure list, `figNN` or bare numbers
+//!   (default: all of 6–16).
+//! * `--threads` — worker count for the execute phase (default: all cores).
+//!   Figures are **byte-identical for any thread count**: planning fixes
+//!   the scenario order, every scenario is an independent deterministic
+//!   simulation, and results are merged in plan order.
+//! * `--json PATH` — additionally writes one JSON document containing every
+//!   assembled figure.
+//! * `--markdown PATH` — additionally writes a markdown report (this is how
+//!   `EXPERIMENTS.md` is generated: `--params quick --markdown
+//!   EXPERIMENTS.md`).
+//! * `--benchmarks` — overrides the benchmark x-axis of figures 6–16.
+//!
+//! Everything nondeterministic (wall-clock timings, thread count, progress)
+//! goes to **stderr**; stdout and both output files depend only on the
+//! campaign inputs.
 
-use loco::{ClusterShape, Figure, Runner};
-use loco_bench::{benchmarks_for, fullsystem_benchmarks_for, Scale};
-use std::io::Write;
+use loco::campaign::{CampaignPlan, Executor};
+use loco::json::Value;
+use loco::{Benchmark, Figure, FigureSpec};
+use loco_bench::{figure_spec, Scale};
 use std::time::Instant;
 
 struct Options {
     scale: Scale,
     figures: Vec<u32>,
+    benchmarks: Option<Vec<Benchmark>>,
+    threads: usize,
     mem_ops: Option<u64>,
-    json_dir: Option<String>,
+    json_path: Option<String>,
+    markdown_path: Option<String>,
+}
+
+fn usage() -> ! {
+    println!(
+        "usage: reproduce [--params quick|paper64|paper256] [--figures fig06,fig11,...|all]\n\
+         \x20                [--threads N] [--json FILE.json] [--markdown FILE.md]\n\
+         \x20                [--benchmarks lu,fft,...] [--mem-ops N]"
+    );
+    std::process::exit(0);
+}
+
+fn bad(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn parse_figure(token: &str) -> u32 {
+    let digits = token.strip_prefix("fig").unwrap_or(token);
+    match digits.parse::<u32>() {
+        Ok(n) if (6..=16).contains(&n) => n,
+        _ => bad(&format!(
+            "unknown figure '{token}' (expected fig06..fig16, bare 6..16, or 'all')"
+        )),
+    }
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         scale: Scale::Cores64,
         figures: (6..=16).collect(),
+        benchmarks: None,
+        threads: 0, // 0 = all cores (Executor::new semantics)
         mem_ops: None,
-        json_dir: None,
+        json_path: None,
+        markdown_path: None,
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                i += 1;
-                opts.scale = Scale::parse(&args[i]).unwrap_or_else(|| {
-                    eprintln!("unknown scale '{}', expected quick|64|256", args[i]);
-                    std::process::exit(2);
-                });
+    let mut it = std::env::args().skip(1);
+    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
+        it.next().unwrap_or_else(|| bad(&format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--params" | "--scale" => {
+                let v = value(&arg, &mut it);
+                opts.scale = Scale::parse(&v)
+                    .unwrap_or_else(|| bad(&format!("unknown params '{v}', expected quick|paper64|paper256")));
             }
-            "--fig" => {
-                i += 1;
-                if args[i] == "all" {
+            "--figures" | "--fig" => {
+                let v = value(&arg, &mut it);
+                if v == "all" {
                     opts.figures = (6..=16).collect();
                 } else {
-                    opts.figures = args[i]
-                        .split(',')
-                        .map(|f| {
-                            f.parse().unwrap_or_else(|_| {
-                                eprintln!("unknown figure '{f}'");
-                                std::process::exit(2);
-                            })
-                        })
-                        .collect();
+                    let mut figs: Vec<u32> = Vec::new();
+                    for n in v.split(',').map(parse_figure) {
+                        if !figs.contains(&n) {
+                            figs.push(n);
+                        }
+                    }
+                    opts.figures = figs;
                 }
             }
-            "--mem-ops" => {
-                i += 1;
-                opts.mem_ops = Some(args[i].parse().expect("--mem-ops takes a number"));
-            }
-            "--json" => {
-                i += 1;
-                opts.json_dir = Some(args[i].clone());
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: reproduce [--scale quick|64|256] [--fig N|all] [--mem-ops N] [--json DIR]"
+            "--benchmarks" => {
+                let v = value(&arg, &mut it);
+                opts.benchmarks = Some(
+                    v.split(',')
+                        .map(|name| {
+                            Benchmark::parse(name)
+                                .unwrap_or_else(|| bad(&format!("unknown benchmark '{name}'")))
+                        })
+                        .collect(),
                 );
-                std::process::exit(0);
             }
-            other => {
-                eprintln!("unknown argument '{other}'");
-                std::process::exit(2);
+            "--threads" => {
+                let v = value(&arg, &mut it);
+                opts.threads = v
+                    .parse()
+                    .unwrap_or_else(|_| bad("--threads takes a number (0 = all cores)"));
             }
+            "--mem-ops" => {
+                let v = value(&arg, &mut it);
+                opts.mem_ops = Some(v.parse().unwrap_or_else(|_| bad("--mem-ops takes a number")));
+            }
+            "--json" => opts.json_path = Some(value(&arg, &mut it)),
+            "--markdown" => opts.markdown_path = Some(value(&arg, &mut it)),
+            "--help" | "-h" => usage(),
+            other => bad(&format!("unknown argument '{other}' (try --help)")),
         }
-        i += 1;
     }
     opts
 }
 
-fn emit(fig: &Figure, json_dir: &Option<String>) {
-    println!("{fig}");
-    if let Some(dir) = json_dir {
-        std::fs::create_dir_all(dir).expect("create json output dir");
-        let path = format!("{dir}/{}.json", fig.id);
-        let mut f = std::fs::File::create(&path).expect("create json file");
-        f.write_all(fig.to_json().as_bytes()).expect("write json");
-        println!("  (wrote {path})\n");
+fn params_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Cores64 => "paper64",
+        Scale::Cores256 => "paper256",
     }
+}
+
+fn json_document(scale: Scale, figures: &[Figure]) -> String {
+    Value::Object(vec![
+        ("schema".into(), Value::String("loco-campaign/1".into())),
+        ("params".into(), Value::String(params_name(scale).into())),
+        (
+            "figures".into(),
+            Value::Array(figures.iter().map(Figure::to_json_value).collect()),
+        ),
+    ])
+    .to_pretty()
+}
+
+fn markdown_document(scale: Scale, n_scenarios: usize, figures: &[Figure]) -> String {
+    let mut out = String::new();
+    out.push_str("# EXPERIMENTS — reproduced figures of the LOCO evaluation\n\n");
+    out.push_str(
+        "This file is generated mechanically by the campaign CLI; do not edit by\nhand. Regenerate with:\n\n",
+    );
+    out.push_str(&format!(
+        "```sh\ncargo run --release -p loco-bench --bin reproduce -- \\\n    --params {} --figures all --markdown EXPERIMENTS.md\n```\n\n",
+        params_name(scale)
+    ));
+    out.push_str(&format!(
+        "Campaign: params `{}`, {} distinct scenarios (deduplicated across\nfigures), executed by `loco::campaign::Executor` and assembled into the\ntables below. Output is byte-identical for any `--threads` value.\n\n",
+        params_name(scale),
+        n_scenarios
+    ));
+    out.push_str(
+        "Absolute magnitudes are not comparable to the paper (synthetic workload\nmodels, scaled working sets — see DESIGN.md §3); the *trends* of each\nfigure are the reproduction target and are asserted by the integration\ntests (`tests/integration_experiments.rs`, `tests/integration_system.rs`).\n\n",
+    );
+    for fig in figures {
+        out.push_str(&format!("## {} — {}\n\n", fig.id, fig.title));
+        out.push_str("```text\n");
+        out.push_str(&fig.to_text_table());
+        out.push_str("```\n\n");
+    }
+    out
 }
 
 fn main() {
@@ -96,62 +187,53 @@ fn main() {
     if let Some(m) = opts.mem_ops {
         params = params.with_mem_ops(m);
     }
-    let benchmarks = benchmarks_for(opts.scale);
-    let fs_benchmarks = fullsystem_benchmarks_for(opts.scale);
-    println!(
-        "LOCO reproduction — scale {} ({} cores, {} memory ops/core)\n",
-        opts.scale.label(),
-        params.num_cores(),
-        params.mem_ops_per_core
-    );
-    let mut runner = Runner::new(params);
-    let start = Instant::now();
 
-    for fig_no in &opts.figures {
-        let t = Instant::now();
-        match fig_no {
-            6 => emit(&runner.fig06_private_vs_shared(&benchmarks), &opts.json_dir),
-            7 => emit(&runner.fig07_l2_hit_latency(&benchmarks), &opts.json_dir),
-            8 => emit(&runner.fig08_mpki(&benchmarks), &opts.json_dir),
-            9 => emit(&runner.fig09_search_delay(&benchmarks), &opts.json_dir),
-            10 => emit(&runner.fig10_offchip(&benchmarks), &opts.json_dir),
-            11 => emit(&runner.fig11_runtime(&benchmarks), &opts.json_dir),
-            12 => {
-                emit(&runner.fig12_l2_latency(&benchmarks), &opts.json_dir);
-                emit(&runner.fig12_search_delay(&benchmarks), &opts.json_dir);
-            }
-            13 => emit(&runner.fig13_noc_runtime(&benchmarks), &opts.json_dir),
-            14 => {
-                let shapes = if params.num_cores() < 64 {
-                    vec![ClusterShape::new(2, 1), ClusterShape::new(4, 1), ClusterShape::new(2, 2)]
-                } else {
-                    vec![ClusterShape::new(4, 1), ClusterShape::new(8, 1), ClusterShape::new(4, 4)]
-                };
-                for fig in runner.fig14_cluster_size(&benchmarks, &shapes) {
-                    emit(&fig, &opts.json_dir);
-                }
-            }
-            15 => {
-                let workloads: Vec<usize> = if params.num_cores() < 64 {
-                    vec![0, 5]
-                } else {
-                    (0..10).collect()
-                };
-                let (off, run) = runner.fig15_multiprogram(&workloads);
-                emit(&off, &opts.json_dir);
-                emit(&run, &opts.json_dir);
-            }
-            16 => {
-                emit(&runner.fig16_mpki(&fs_benchmarks), &opts.json_dir);
-                emit(&runner.fig16_runtime(&fs_benchmarks), &opts.json_dir);
-            }
-            other => eprintln!("figure {other} is not part of the paper's evaluation"),
-        }
-        eprintln!("[figure {fig_no}: {:.1}s]", t.elapsed().as_secs_f64());
+    // --- Plan: enumerate every requested figure, deduplicating scenarios.
+    let specs: Vec<FigureSpec> = opts
+        .figures
+        .iter()
+        .map(|&n| figure_spec(opts.scale, n, opts.benchmarks.as_deref()).expect("figure numbers validated"))
+        .collect();
+    let mut plan = CampaignPlan::new();
+    for spec in &specs {
+        plan.add_figure(spec, &params);
     }
+
+    let executor = Executor::new(opts.threads);
     eprintln!(
-        "\ntotal: {:.1}s, {} simulations",
-        start.elapsed().as_secs_f64(),
-        runner.simulations_run()
+        "LOCO campaign — params {} ({} cores, {} memory ops/core): {} figures, {} distinct scenarios, {} worker threads",
+        params_name(opts.scale),
+        params.num_cores(),
+        params.mem_ops_per_core,
+        specs.len(),
+        plan.len(),
+        executor.threads(),
     );
+
+    // --- Execute: every scenario, in parallel, each in its own system.
+    let start = Instant::now();
+    let results = executor.execute(&params, &plan);
+    eprintln!(
+        "executed {} simulations in {:.1}s",
+        results.len(),
+        start.elapsed().as_secs_f64()
+    );
+
+    // --- Assemble: pure figure construction from the completed result set.
+    let mut figures: Vec<Figure> = Vec::new();
+    for spec in &specs {
+        figures.extend(spec.assemble(&params, &results));
+    }
+    for fig in &figures {
+        println!("{fig}");
+    }
+    if let Some(path) = &opts.json_path {
+        std::fs::write(path, json_document(opts.scale, &figures) + "\n").expect("write --json file");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &opts.markdown_path {
+        std::fs::write(path, markdown_document(opts.scale, plan.len(), &figures))
+            .expect("write --markdown file");
+        eprintln!("wrote {path}");
+    }
 }

@@ -2,21 +2,25 @@
 //!
 //! Two entry points:
 //!
-//! * the `reproduce` binary regenerates every table and figure of the
-//!   paper's evaluation (`cargo run --release -p loco-bench --bin reproduce
-//!   -- --help`),
+//! * the `reproduce` binary plans, executes (in parallel, via
+//!   `loco::campaign::Executor`) and assembles every table and figure of
+//!   the paper's evaluation (`cargo run --release -p loco-bench --bin
+//!   reproduce -- --help`),
 //! * the benches under `benches/` (built on the in-tree [`timing`] harness)
 //!   time a reduced version of each figure's simulation campaign so that
 //!   `cargo bench` exercises every experiment end to end.
 //!
-//! The library part only hosts shared helpers for those two front-ends.
+//! The library part hosts the shared campaign-composition helpers for those
+//! front-ends: which benchmarks, cluster shapes and Table-2 workloads each
+//! scale sweeps, and the [`figure_specs`] builder that turns figure numbers
+//! into `loco::campaign::FigureSpec`s.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod timing;
 
-use loco::{Benchmark, ExperimentParams};
+use loco::{Benchmark, ClusterShape, ExperimentParams, FigureSpec};
 
 /// Which experiment scale a harness invocation targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,12 +34,13 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses a scale name.
+    /// Parses a scale name (`quick`, `paper64`, `paper256`; the bare `64` /
+    /// `256` spellings of the original CLI are also accepted).
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
             "quick" => Some(Scale::Quick),
-            "64" => Some(Scale::Cores64),
-            "256" => Some(Scale::Cores256),
+            "64" | "paper64" => Some(Scale::Cores64),
+            "256" | "paper256" => Some(Scale::Cores256),
             _ => None,
         }
     }
@@ -76,6 +81,72 @@ pub fn fullsystem_benchmarks_for(scale: Scale) -> Vec<Benchmark> {
     }
 }
 
+/// The cluster shapes Figure 14 sweeps at this scale (the quick mesh is too
+/// small for the paper's 4x4 clusters).
+pub fn cluster_shapes_for(scale: Scale) -> Vec<ClusterShape> {
+    match scale {
+        Scale::Quick => vec![
+            ClusterShape::new(2, 1),
+            ClusterShape::new(4, 1),
+            ClusterShape::new(2, 2),
+        ],
+        _ => vec![
+            ClusterShape::new(4, 1),
+            ClusterShape::new(8, 1),
+            ClusterShape::new(4, 4),
+        ],
+    }
+}
+
+/// The Table-2 workload indices Figure 15 runs at this scale.
+pub fn workloads_for(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![0, 5],
+        _ => (0..10).collect(),
+    }
+}
+
+/// Builds the `FigureSpec` for one figure number (6–16) at this scale,
+/// optionally overriding the benchmark x-axis (`None` uses the scale's
+/// default suite). Returns `None` for numbers outside the paper's
+/// evaluation.
+pub fn figure_spec(scale: Scale, number: u32, benchmarks: Option<&[Benchmark]>) -> Option<FigureSpec> {
+    let suite = |def: fn(Scale) -> Vec<Benchmark>| -> Vec<Benchmark> {
+        benchmarks.map_or_else(|| def(scale), <[Benchmark]>::to_vec)
+    };
+    let b = || suite(benchmarks_for);
+    Some(match number {
+        6 => FigureSpec::Fig06 { benchmarks: b() },
+        7 => FigureSpec::Fig07 { benchmarks: b() },
+        8 => FigureSpec::Fig08 { benchmarks: b() },
+        9 => FigureSpec::Fig09 { benchmarks: b() },
+        10 => FigureSpec::Fig10 { benchmarks: b() },
+        11 => FigureSpec::Fig11 { benchmarks: b() },
+        12 => FigureSpec::Fig12 { benchmarks: b() },
+        13 => FigureSpec::Fig13 { benchmarks: b() },
+        14 => FigureSpec::Fig14 {
+            benchmarks: b(),
+            shapes: cluster_shapes_for(scale),
+        },
+        15 => FigureSpec::Fig15 {
+            workloads: workloads_for(scale),
+        },
+        16 => FigureSpec::Fig16 {
+            benchmarks: suite(fullsystem_benchmarks_for),
+        },
+        _ => return None,
+    })
+}
+
+/// The `FigureSpec`s for a list of figure numbers, in the given order.
+/// Unknown numbers are skipped (the callers warn about them separately).
+pub fn figure_specs(scale: Scale, numbers: &[u32], benchmarks: Option<&[Benchmark]>) -> Vec<FigureSpec> {
+    numbers
+        .iter()
+        .filter_map(|&n| figure_spec(scale, n, benchmarks))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,7 +156,32 @@ mod tests {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("64"), Some(Scale::Cores64));
         assert_eq!(Scale::parse("256"), Some(Scale::Cores256));
+        assert_eq!(Scale::parse("paper64"), Some(Scale::Cores64));
+        assert_eq!(Scale::parse("paper256"), Some(Scale::Cores256));
         assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn figure_specs_cover_the_whole_evaluation() {
+        let all: Vec<u32> = (6..=16).collect();
+        let specs = figure_specs(Scale::Quick, &all, None);
+        assert_eq!(specs.len(), 11);
+        for (spec, number) in specs.iter().zip(6..=16u32) {
+            assert_eq!(spec.number(), number);
+        }
+        assert!(figure_spec(Scale::Quick, 5, None).is_none());
+        assert!(figure_spec(Scale::Quick, 17, None).is_none());
+    }
+
+    #[test]
+    fn benchmark_override_reaches_the_spec() {
+        let spec = figure_spec(Scale::Cores64, 6, Some(&[Benchmark::Lu])).unwrap();
+        assert_eq!(
+            spec,
+            FigureSpec::Fig06 {
+                benchmarks: vec![Benchmark::Lu]
+            }
+        );
     }
 
     #[test]

@@ -1,18 +1,25 @@
 //! Experiment runners reproducing every table and figure of the paper's
 //! evaluation (Section 4).
 //!
-//! The central type is [`Runner`]: it memoizes simulation runs keyed by
-//! (benchmark, organization, router, cluster, full-system), so composing
-//! several figures over the same configuration matrix never re-simulates.
-//! Every `figNN_*` method returns a [`Figure`] whose series labels match the
-//! paper's legends; `EXPERIMENTS.md` records the paper-reported numbers next
-//! to the reproduced ones.
+//! Since the campaign-engine refactor the heavy lifting lives in
+//! [`crate::campaign`]: every figure is a [`crate::campaign::FigureSpec`]
+//! with a pure *enumerate* pass (which [`crate::campaign::Scenario`]s it
+//! needs) and a pure *assemble* pass (how the [`Figure`] is built from a
+//! completed [`crate::campaign::ResultSet`]). The [`Runner`] here is kept as
+//! a convenient sequential shim over those layers: it memoizes simulation
+//! runs in a `Scenario`-keyed `Arc<SimResults>` cache, so composing several
+//! figures over the same configuration matrix never re-simulates — and
+//! never deep-clones a result either. For parallel campaigns use
+//! [`crate::campaign::Executor`] (or the `reproduce` CLI, which emits
+//! `EXPERIMENTS.md` mechanically).
 
-use crate::report::{Figure, Series};
+use crate::campaign::{run_multiprogram_workload, run_scenario, FigureSpec, ResultSet, Scenario};
+use crate::report::Figure;
 use loco_cache::{ClusterShape, OrganizationKind};
-use loco_noc::{FxHashMap, RouterKind};
-use loco_sim::{CmpSystem, SimResults, SystemConfig};
-use loco_workloads::{Benchmark, MultiProgramWorkload, TraceGenerator};
+use loco_noc::RouterKind;
+use loco_sim::{SimResults, SystemConfig};
+use loco_workloads::{Benchmark, MultiProgramWorkload};
+use std::sync::Arc;
 
 /// Scale parameters of an experiment campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +101,13 @@ impl ExperimentParams {
         format!("{}-core", self.num_cores())
     }
 
-    fn system(&self, org: OrganizationKind, router: RouterKind, cluster: ClusterShape, fs: bool) -> SystemConfig {
+    pub(crate) fn system(
+        &self,
+        org: OrganizationKind,
+        router: RouterKind,
+        cluster: ClusterShape,
+        fs: bool,
+    ) -> SystemConfig {
         let mut cfg = SystemConfig::asplos_64(org)
             .with_router(router)
             .with_cluster(cluster)
@@ -107,26 +120,17 @@ impl ExperimentParams {
         cfg
     }
 
-    fn scaled_spec(&self, benchmark: Benchmark) -> loco_workloads::BenchmarkSpec {
+    pub(crate) fn scaled_spec(&self, benchmark: Benchmark) -> loco_workloads::BenchmarkSpec {
         benchmark.spec().scaled_down(self.working_set_scale.max(1))
     }
 }
 
-/// One memoized simulation configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct RunKey {
-    benchmark: Benchmark,
-    org: OrganizationKind,
-    router: RouterKind,
-    cluster: ClusterShape,
-    full_system: bool,
-}
-
-/// Memoizing experiment runner.
+/// Memoizing sequential experiment runner — a thin shim over the campaign
+/// engine (see the module docs and [`crate::campaign`]).
 #[derive(Debug)]
 pub struct Runner {
     params: ExperimentParams,
-    cache: FxHashMap<RunKey, SimResults>,
+    cache: ResultSet,
     runs: u64,
 }
 
@@ -135,7 +139,7 @@ impl Runner {
     pub fn new(params: ExperimentParams) -> Self {
         Runner {
             params,
-            cache: FxHashMap::default(),
+            cache: ResultSet::new(),
             runs: 0,
         }
     }
@@ -150,6 +154,23 @@ impl Runner {
         self.runs
     }
 
+    /// The memoized results accumulated so far (a campaign
+    /// [`ResultSet`] — usable directly with [`FigureSpec::assemble`]).
+    pub fn results(&self) -> &ResultSet {
+        &self.cache
+    }
+
+    /// Runs (or returns the memoized result of) one scenario.
+    pub fn run_scenario(&mut self, scenario: Scenario) -> Arc<SimResults> {
+        if let Some(r) = self.cache.get_arc(&scenario) {
+            return Arc::clone(r);
+        }
+        let r = Arc::new(run_scenario(&self.params, scenario));
+        self.runs += 1;
+        self.cache.insert(scenario, Arc::clone(&r));
+        r
+    }
+
     /// Runs (or returns the memoized result of) one configuration.
     pub fn run(
         &mut self,
@@ -158,32 +179,33 @@ impl Runner {
         router: RouterKind,
         cluster: ClusterShape,
         full_system: bool,
-    ) -> SimResults {
-        let key = RunKey {
+    ) -> Arc<SimResults> {
+        self.run_scenario(Scenario::Trace {
             benchmark,
             org,
             router,
             cluster,
             full_system,
-        };
-        if let Some(r) = self.cache.get(&key) {
-            return r.clone();
-        }
-        let spec = self.params.scaled_spec(benchmark);
-        let traces = TraceGenerator::new(self.params.seed)
-            .with_barriers(full_system)
-            .generate(&spec, self.params.num_cores(), self.params.mem_ops_per_core);
-        let cfg = self.params.system(org, router, cluster, full_system);
-        let mut sys = CmpSystem::new(cfg, traces);
-        let result = sys.run(self.params.max_cycles);
-        self.runs += 1;
-        self.cache.insert(key, result.clone());
-        result
+        })
     }
 
     /// Shorthand: SMART NoC, default cluster, trace-driven.
-    pub fn run_default(&mut self, benchmark: Benchmark, org: OrganizationKind) -> SimResults {
+    pub fn run_default(&mut self, benchmark: Benchmark, org: OrganizationKind) -> Arc<SimResults> {
         self.run(benchmark, org, RouterKind::Smart, self.params.cluster, false)
+    }
+
+    /// Sequentially runs whatever the figure still needs and assembles it.
+    fn figure(&mut self, spec: FigureSpec) -> Vec<Figure> {
+        for scenario in spec.enumerate(&self.params) {
+            self.run_scenario(scenario);
+        }
+        spec.assemble(&self.params, &self.cache)
+    }
+
+    fn single(&mut self, spec: FigureSpec) -> Figure {
+        let mut figs = self.figure(spec);
+        debug_assert_eq!(figs.len(), 1);
+        figs.remove(0)
     }
 
     // ------------------------------------------------------------ Figure 6
@@ -191,21 +213,9 @@ impl Runner {
     /// Figure 6: run time of the private-cache baseline normalized to the
     /// distributed shared cache (both on SMART NoCs).
     pub fn fig06_private_vs_shared(&mut self, benchmarks: &[Benchmark]) -> Figure {
-        let mut fig = Figure::new(
-            "fig06",
-            "Normalized runtime of private caches vs. shared caches",
-            "runtime normalized to Shared Cache",
-        );
-        fig.x_labels = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        let mut private = Vec::new();
-        for &b in benchmarks {
-            let shared = self.run_default(b, OrganizationKind::Shared);
-            let priv_r = self.run_default(b, OrganizationKind::Private);
-            private.push(priv_r.runtime_normalized_to(&shared));
-        }
-        fig.push_series(Series::new("Private Cache", private));
-        fig.push_average_column();
-        fig
+        self.single(FigureSpec::Fig06 {
+            benchmarks: benchmarks.to_vec(),
+        })
     }
 
     // ------------------------------------------------------------ Figure 7
@@ -213,45 +223,18 @@ impl Runner {
     /// Figure 7: increase of average L2 hit latency over the private-cache
     /// baseline, for the shared cache and for LOCO.
     pub fn fig07_l2_hit_latency(&mut self, benchmarks: &[Benchmark]) -> Figure {
-        let mut fig = Figure::new(
-            format!("fig07-{}", self.params.label()),
-            "Increase of L2 access latency over Private Cache",
-            "cycles",
-        );
-        fig.x_labels = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        let (mut shared_v, mut loco_v) = (Vec::new(), Vec::new());
-        for &b in benchmarks {
-            let private = self.run_default(b, OrganizationKind::Private);
-            let shared = self.run_default(b, OrganizationKind::Shared);
-            let loco = self.run_default(b, OrganizationKind::LocoCcVmsIvr);
-            shared_v.push((shared.avg_l2_hit_latency - private.avg_l2_hit_latency).max(0.0));
-            loco_v.push((loco.avg_l2_hit_latency - private.avg_l2_hit_latency).max(0.0));
-        }
-        fig.push_series(Series::new("Shared Cache", shared_v));
-        fig.push_series(Series::new("LOCO", loco_v));
-        fig.push_average_column();
-        fig
+        self.single(FigureSpec::Fig07 {
+            benchmarks: benchmarks.to_vec(),
+        })
     }
 
     // ------------------------------------------------------------ Figure 8
 
     /// Figure 8: L2 misses per thousand instructions, shared cache vs. LOCO.
     pub fn fig08_mpki(&mut self, benchmarks: &[Benchmark]) -> Figure {
-        let mut fig = Figure::new(
-            format!("fig08-{}", self.params.label()),
-            "L2 cache misses per 1000 instructions",
-            "MPKI",
-        );
-        fig.x_labels = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        let (mut shared_v, mut loco_v) = (Vec::new(), Vec::new());
-        for &b in benchmarks {
-            shared_v.push(self.run_default(b, OrganizationKind::Shared).l2_mpki);
-            loco_v.push(self.run_default(b, OrganizationKind::LocoCcVmsIvr).l2_mpki);
-        }
-        fig.push_series(Series::new("Shared Cache", shared_v));
-        fig.push_series(Series::new("LOCO", loco_v));
-        fig.push_average_column();
-        fig
+        self.single(FigureSpec::Fig08 {
+            benchmarks: benchmarks.to_vec(),
+        })
     }
 
     // ------------------------------------------------------------ Figure 9
@@ -259,21 +242,9 @@ impl Runner {
     /// Figure 9: on-chip data-search delay, LOCO CC (directory indirection)
     /// vs. LOCO CC+VMS (broadcast on the virtual mesh).
     pub fn fig09_search_delay(&mut self, benchmarks: &[Benchmark]) -> Figure {
-        let mut fig = Figure::new(
-            format!("fig09-{}", self.params.label()),
-            "Global search delay for data cached on-chip",
-            "cycles",
-        );
-        fig.x_labels = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        let (mut cc, mut vms) = (Vec::new(), Vec::new());
-        for &b in benchmarks {
-            cc.push(self.run_default(b, OrganizationKind::LocoCc).avg_search_delay);
-            vms.push(self.run_default(b, OrganizationKind::LocoCcVms).avg_search_delay);
-        }
-        fig.push_series(Series::new("LOCO CC", cc));
-        fig.push_series(Series::new("LOCO CC+VMS", vms));
-        fig.push_average_column();
-        fig
+        self.single(FigureSpec::Fig09 {
+            benchmarks: benchmarks.to_vec(),
+        })
     }
 
     // ----------------------------------------------------------- Figure 10
@@ -281,28 +252,9 @@ impl Runner {
     /// Figure 10: off-chip memory accesses normalized to the shared cache,
     /// with and without inter-cluster victim replacement.
     pub fn fig10_offchip(&mut self, benchmarks: &[Benchmark]) -> Figure {
-        let mut fig = Figure::new(
-            format!("fig10-{}", self.params.label()),
-            "Normalized off-chip memory accesses",
-            "normalized to Shared Cache",
-        );
-        fig.x_labels = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        let (mut vms, mut ivr) = (Vec::new(), Vec::new());
-        for &b in benchmarks {
-            let shared = self.run_default(b, OrganizationKind::Shared);
-            vms.push(
-                self.run_default(b, OrganizationKind::LocoCcVms)
-                    .offchip_normalized_to(&shared),
-            );
-            ivr.push(
-                self.run_default(b, OrganizationKind::LocoCcVmsIvr)
-                    .offchip_normalized_to(&shared),
-            );
-        }
-        fig.push_series(Series::new("LOCO CC+VMS", vms));
-        fig.push_series(Series::new("LOCO CC+VMS+IVR", ivr));
-        fig.push_average_column();
-        fig
+        self.single(FigureSpec::Fig10 {
+            benchmarks: benchmarks.to_vec(),
+        })
     }
 
     // ----------------------------------------------------------- Figure 11
@@ -310,30 +262,9 @@ impl Runner {
     /// Figure 11: run time of each LOCO feature, normalized to the shared
     /// cache baseline.
     pub fn fig11_runtime(&mut self, benchmarks: &[Benchmark]) -> Figure {
-        let mut fig = Figure::new(
-            format!("fig11-{}", self.params.label()),
-            "Normalized runtimes of LOCO against baseline Shared Cache",
-            "runtime normalized to Shared Cache",
-        );
-        fig.x_labels = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        let mut series: Vec<(OrganizationKind, Vec<f64>)> = vec![
-            (OrganizationKind::Shared, Vec::new()),
-            (OrganizationKind::LocoCc, Vec::new()),
-            (OrganizationKind::LocoCcVms, Vec::new()),
-            (OrganizationKind::LocoCcVmsIvr, Vec::new()),
-        ];
-        for &b in benchmarks {
-            let shared = self.run_default(b, OrganizationKind::Shared);
-            for (org, values) in &mut series {
-                let r = self.run_default(b, *org);
-                values.push(r.runtime_normalized_to(&shared));
-            }
-        }
-        for (org, values) in series {
-            fig.push_series(Series::new(org.label(), values));
-        }
-        fig.push_average_column();
-        fig
+        self.single(FigureSpec::Fig11 {
+            benchmarks: benchmarks.to_vec(),
+        })
     }
 
     // ------------------------------------------------------ Figures 12 & 13
@@ -341,65 +272,26 @@ impl Runner {
     /// Figure 12a: LOCO's L2 hit latency increase (over private) under
     /// SMART, conventional and high-radix NoCs.
     pub fn fig12_l2_latency(&mut self, benchmarks: &[Benchmark]) -> Figure {
-        let mut fig = Figure::new(
-            format!("fig12a-{}", self.params.label()),
-            "LOCO L2 hit latency under alternative NoCs",
-            "cycles over Private Cache",
-        );
-        fig.x_labels = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        for router in [RouterKind::Smart, RouterKind::Conventional, RouterKind::HighRadix] {
-            let mut v = Vec::new();
-            for &b in benchmarks {
-                let private = self.run_default(b, OrganizationKind::Private);
-                let r = self.run(b, OrganizationKind::LocoCcVmsIvr, router, self.params.cluster, false);
-                v.push((r.avg_l2_hit_latency - private.avg_l2_hit_latency).max(0.0));
-            }
-            fig.push_series(Series::new(format!("LOCO + {}", router.label()), v));
-        }
-        fig.push_average_column();
-        fig
+        self.figure(FigureSpec::Fig12 {
+            benchmarks: benchmarks.to_vec(),
+        })
+        .remove(0)
     }
 
     /// Figure 12b: LOCO's on-chip data-search delay under the three NoCs.
     pub fn fig12_search_delay(&mut self, benchmarks: &[Benchmark]) -> Figure {
-        let mut fig = Figure::new(
-            format!("fig12b-{}", self.params.label()),
-            "LOCO global on-chip data search delay under alternative NoCs",
-            "cycles",
-        );
-        fig.x_labels = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        for router in [RouterKind::Smart, RouterKind::Conventional, RouterKind::HighRadix] {
-            let mut v = Vec::new();
-            for &b in benchmarks {
-                let r = self.run(b, OrganizationKind::LocoCcVmsIvr, router, self.params.cluster, false);
-                v.push(r.avg_search_delay);
-            }
-            fig.push_series(Series::new(format!("LOCO + {}", router.label()), v));
-        }
-        fig.push_average_column();
-        fig
+        self.figure(FigureSpec::Fig12 {
+            benchmarks: benchmarks.to_vec(),
+        })
+        .remove(1)
     }
 
     /// Figure 13: LOCO run time under the three NoCs, normalized to the
     /// shared cache running atop the SMART NoC.
     pub fn fig13_noc_runtime(&mut self, benchmarks: &[Benchmark]) -> Figure {
-        let mut fig = Figure::new(
-            format!("fig13-{}", self.params.label()),
-            "LOCO runtime under alternative NoCs",
-            "runtime normalized to Shared Cache on SMART NoC",
-        );
-        fig.x_labels = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        for router in [RouterKind::Smart, RouterKind::Conventional, RouterKind::HighRadix] {
-            let mut v = Vec::new();
-            for &b in benchmarks {
-                let shared = self.run_default(b, OrganizationKind::Shared);
-                let r = self.run(b, OrganizationKind::LocoCcVmsIvr, router, self.params.cluster, false);
-                v.push(r.runtime_normalized_to(&shared));
-            }
-            fig.push_series(Series::new(format!("LOCO + {}", router.label()), v));
-        }
-        fig.push_average_column();
-        fig
+        self.single(FigureSpec::Fig13 {
+            benchmarks: benchmarks.to_vec(),
+        })
     }
 
     // ----------------------------------------------------------- Figure 14
@@ -407,44 +299,10 @@ impl Runner {
     /// Figure 14: LOCO with different cluster shapes. Returns the four
     /// sub-figures (hit latency, MPKI, search delay, normalized runtime).
     pub fn fig14_cluster_size(&mut self, benchmarks: &[Benchmark], shapes: &[ClusterShape]) -> Vec<Figure> {
-        let mut latency = Figure::new(
-            "fig14a",
-            "L2 hit latency increase by cluster size",
-            "cycles over Private Cache",
-        );
-        let mut mpki = Figure::new("fig14b", "L2 misses per 1000 instructions by cluster size", "MPKI");
-        let mut search = Figure::new("fig14c", "Global search delay by cluster size", "cycles");
-        let mut runtime = Figure::new(
-            "fig14d",
-            "Normalized runtime by cluster size",
-            "runtime normalized to Shared Cache",
-        );
-        let x: Vec<String> = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        latency.x_labels = x.clone();
-        mpki.x_labels = x.clone();
-        search.x_labels = x.clone();
-        runtime.x_labels = x;
-        for &shape in shapes {
-            let label = format!("Cluster Size:{}x{}", shape.w, shape.h);
-            let (mut lv, mut mv, mut sv, mut rv) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-            for &b in benchmarks {
-                let private = self.run_default(b, OrganizationKind::Private);
-                let shared = self.run_default(b, OrganizationKind::Shared);
-                let r = self.run(b, OrganizationKind::LocoCcVmsIvr, RouterKind::Smart, shape, false);
-                lv.push((r.avg_l2_hit_latency - private.avg_l2_hit_latency).max(0.0));
-                mv.push(r.l2_mpki);
-                sv.push(r.avg_search_delay);
-                rv.push(r.runtime_normalized_to(&shared));
-            }
-            latency.push_series(Series::new(label.clone(), lv));
-            mpki.push_series(Series::new(label.clone(), mv));
-            search.push_series(Series::new(label.clone(), sv));
-            runtime.push_series(Series::new(label, rv));
-        }
-        for f in [&mut latency, &mut mpki, &mut search, &mut runtime] {
-            f.push_average_column();
-        }
-        vec![latency, mpki, search, runtime]
+        self.figure(FigureSpec::Fig14 {
+            benchmarks: benchmarks.to_vec(),
+            shapes: shapes.to_vec(),
+        })
     }
 
     // ----------------------------------------------------------- Figure 15
@@ -453,146 +311,39 @@ impl Runner {
     /// (normalized off-chip accesses, normalized runtime); series are the
     /// shared cache, the clustered cache baseline (LOCO CC) and full LOCO.
     pub fn fig15_multiprogram(&mut self, workloads: &[usize]) -> (Figure, Figure) {
-        let mut offchip = Figure::new(
-            "fig15a",
-            "Multi-program workloads: normalized off-chip memory accesses",
-            "normalized to Shared Cache",
-        );
-        let mut runtime = Figure::new(
-            "fig15b",
-            "Multi-program workloads: normalized runtime",
-            "normalized to Shared Cache",
-        );
-        let labels: Vec<String> = workloads.iter().map(|w| format!("W{w}")).collect();
-        offchip.x_labels = labels.clone();
-        runtime.x_labels = labels;
-        let orgs = [
-            OrganizationKind::Shared,
-            OrganizationKind::LocoCc,
-            OrganizationKind::LocoCcVmsIvr,
-        ];
-        let mut off_series: Vec<Vec<f64>> = vec![Vec::new(); orgs.len()];
-        let mut run_series: Vec<Vec<f64>> = vec![Vec::new(); orgs.len()];
-        for &w in workloads {
-            let workload = MultiProgramWorkload::table2_entry(w);
-            let results: Vec<SimResults> = orgs
-                .iter()
-                .map(|&org| self.run_multiprogram(&workload, org))
-                .collect();
-            let shared = &results[0];
-            for (i, r) in results.iter().enumerate() {
-                off_series[i].push(r.offchip_normalized_to(shared));
-                run_series[i].push(r.runtime_normalized_to(shared));
-            }
-        }
-        for (i, org) in orgs.iter().enumerate() {
-            let label = if *org == OrganizationKind::LocoCc {
-                "Clustered Cache".to_string()
-            } else {
-                org.label().to_string()
-            };
-            offchip.push_series(Series::new(label.clone(), off_series[i].clone()));
-            runtime.push_series(Series::new(label, run_series[i].clone()));
-        }
-        offchip.push_average_column();
-        runtime.push_average_column();
+        let mut figs = self.figure(FigureSpec::Fig15 {
+            workloads: workloads.to_vec(),
+        });
+        let runtime = figs.remove(1);
+        let offchip = figs.remove(0);
         (offchip, runtime)
     }
 
-    /// Runs one Table-2 workload under one organization. The cluster size
-    /// follows the paper: it matches the per-task thread count (4x1, 8x1 or
-    /// 4x4), scaled down proportionally for the `quick()` mesh.
+    /// Runs one Table-2 workload under one organization (unmemoized — the
+    /// workload may be arbitrary, not just a Table-2 entry; campaign
+    /// scenarios key Table-2 workloads by index instead).
     pub fn run_multiprogram(&mut self, workload: &MultiProgramWorkload, org: OrganizationKind) -> SimResults {
-        let threads = workload.threads_per_task();
-        let cluster = if self.params.num_cores() < 64 {
-            self.params.cluster
-        } else {
-            match threads {
-                4 => ClusterShape::new(4, 1),
-                8 => ClusterShape::new(8, 1),
-                _ => ClusterShape::new(4, 4),
-            }
-        };
-        let scale = self.params.num_cores() as f64 / 64.0;
-        let mem_ops = ((self.params.mem_ops_per_core as f64) * 1.0).max(1.0) as u64;
-        let mut traces = workload.generate_traces_scaled(
-            mem_ops,
-            self.params.seed,
-            self.params.working_set_scale.max(1),
-        );
-        let mut groups: Vec<usize> = Vec::new();
-        for a in workload.assign_cores() {
-            for _ in &a.cores {
-                groups.push(a.task_id);
-            }
-        }
-        // The quick() configuration has fewer cores than the 64-core
-        // workload definition: truncate to fit.
-        if self.params.num_cores() < traces.len() {
-            traces.truncate(self.params.num_cores());
-            groups.truncate(self.params.num_cores());
-        }
-        let _ = scale;
-        let cfg = self.params.system(org, RouterKind::Smart, cluster, false);
-        let mut sys = CmpSystem::with_groups(cfg, traces, groups);
         self.runs += 1;
-        sys.run(self.params.max_cycles)
+        run_multiprogram_workload(&self.params, workload, org)
     }
 
     // ----------------------------------------------------------- Figure 16
 
     /// Figure 16a: full-system (synchronization-aware) MPKI, shared vs LOCO.
     pub fn fig16_mpki(&mut self, benchmarks: &[Benchmark]) -> Figure {
-        let mut fig = Figure::new(
-            "fig16a",
-            "Full system simulation: L2 misses per 1000 instructions",
-            "MPKI",
-        );
-        fig.x_labels = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        let (mut shared_v, mut loco_v) = (Vec::new(), Vec::new());
-        for &b in benchmarks {
-            shared_v.push(
-                self.run(b, OrganizationKind::Shared, RouterKind::Smart, self.params.cluster, true)
-                    .l2_mpki,
-            );
-            loco_v.push(
-                self.run(b, OrganizationKind::LocoCcVmsIvr, RouterKind::Smart, self.params.cluster, true)
-                    .l2_mpki,
-            );
-        }
-        fig.push_series(Series::new("Shared", shared_v));
-        fig.push_series(Series::new("LOCO", loco_v));
-        fig.push_average_column();
-        fig
+        self.figure(FigureSpec::Fig16 {
+            benchmarks: benchmarks.to_vec(),
+        })
+        .remove(0)
     }
 
     /// Figure 16b: full-system normalized runtime of the LOCO variants
     /// against the shared cache.
     pub fn fig16_runtime(&mut self, benchmarks: &[Benchmark]) -> Figure {
-        let mut fig = Figure::new(
-            "fig16b",
-            "Full system simulation: normalized runtime against Shared Cache",
-            "runtime normalized to Shared Cache",
-        );
-        fig.x_labels = benchmarks.iter().map(|b| b.name().to_string()).collect();
-        let orgs = [
-            OrganizationKind::LocoCc,
-            OrganizationKind::LocoCcVms,
-            OrganizationKind::LocoCcVmsIvr,
-        ];
-        let mut series: Vec<Vec<f64>> = vec![Vec::new(); orgs.len()];
-        for &b in benchmarks {
-            let shared = self.run(b, OrganizationKind::Shared, RouterKind::Smart, self.params.cluster, true);
-            for (i, &org) in orgs.iter().enumerate() {
-                let r = self.run(b, org, RouterKind::Smart, self.params.cluster, true);
-                series[i].push(r.runtime_normalized_to(&shared));
-            }
-        }
-        for (i, org) in orgs.iter().enumerate() {
-            fig.push_series(Series::new(org.label(), series[i].clone()));
-        }
-        fig.push_average_column();
-        fig
+        self.figure(FigureSpec::Fig16 {
+            benchmarks: benchmarks.to_vec(),
+        })
+        .remove(1)
     }
 }
 
@@ -612,6 +363,10 @@ mod tests {
         let b = r.run_default(Benchmark::Lu, OrganizationKind::Shared);
         assert_eq!(r.simulations_run(), runs_after_first);
         assert_eq!(a.runtime_cycles, b.runtime_cycles);
+        // The memoized handle is shared, not cloned: both callers plus the
+        // cache itself hold the same allocation.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(Arc::strong_count(&a), 3);
     }
 
     #[test]
@@ -652,5 +407,19 @@ mod tests {
         assert_eq!(off.series.len(), 3);
         assert_eq!(run.series.len(), 3);
         assert!(run.average_of("Shared Cache").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_multiprogram_accepts_arbitrary_workloads() {
+        let mut r = Runner::new(ExperimentParams::quick().with_mem_ops(100));
+        let w = MultiProgramWorkload::table2_entry(0);
+        let direct = r.run_multiprogram(&w, OrganizationKind::Shared);
+        let keyed = r.run_scenario(Scenario::MultiProgram {
+            workload: 0,
+            org: OrganizationKind::Shared,
+        });
+        // The scenario-keyed path and the direct path are the same
+        // simulation.
+        assert_eq!(format!("{direct:?}"), format!("{:?}", *keyed));
     }
 }

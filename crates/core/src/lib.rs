@@ -14,7 +14,12 @@
 //! This crate is the front door of the workspace:
 //!
 //! * [`SimulationBuilder`] — run one workload on one configuration,
-//! * [`experiments::Runner`] — reproduce every figure of the paper,
+//! * [`campaign`] — the plan/execute/assemble campaign engine: enumerate
+//!   the [`campaign::Scenario`]s a set of figures needs, execute them on
+//!   all cores with [`campaign::Executor`], and assemble the figures from
+//!   the [`campaign::ResultSet`],
+//! * [`experiments::Runner`] — the sequential memoizing shim over the
+//!   campaign engine (reproduce individual figures in-process),
 //! * re-exports of the substrate crates (`loco-noc`, `loco-cache`,
 //!   `loco-sim`, `loco-workloads`).
 //!
@@ -38,10 +43,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod json;
 pub mod report;
 
+pub use campaign::{CampaignPlan, Executor, FigureSpec, ResultSet, Scenario};
 pub use experiments::{ExperimentParams, Runner};
 pub use report::{Figure, Series};
 

@@ -134,6 +134,12 @@ impl Figure {
 
     /// Serializes the figure to pretty JSON.
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_pretty()
+    }
+
+    /// The figure as an in-tree JSON [`Value`] (for embedding into larger
+    /// documents, e.g. the `reproduce` CLI's single-file campaign dump).
+    pub fn to_json_value(&self) -> Value {
         let series = self
             .series
             .iter()
@@ -162,7 +168,6 @@ impl Figure {
             ),
             ("series".into(), Value::Array(series)),
         ])
-        .to_pretty()
     }
 
     /// Deserializes a figure previously emitted by [`Figure::to_json`].

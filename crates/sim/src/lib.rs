@@ -9,6 +9,14 @@
 //! The top-level type is [`system::CmpSystem`]; [`config::SystemConfig`]
 //! captures Table 1 of the paper.
 //!
+//! # `Send` invariant
+//!
+//! [`CmpSystem`] and [`SimResults`] are **`Send`**: the campaign engine
+//! (`loco::campaign::Executor`) runs one system per worker thread, so the
+//! simulator must stay free of thread-bound handles (`Rc`, `RefCell`, raw
+//! pointers). This is locked in at compile time below — adding a non-`Send`
+//! field is a build error, not a runtime surprise.
+//!
 //! ```rust,no_run
 //! use loco_sim::{CmpSystem, SystemConfig};
 //! use loco_cache::OrganizationKind;
@@ -33,3 +41,15 @@ pub use config::SystemConfig;
 pub use core::{CoreModel, CoreStatus};
 pub use results::SimResults;
 pub use system::CmpSystem;
+
+// Compile-time lock-in of the `Send` invariant (see the module docs): the
+// parallel campaign executor moves whole systems and their results across
+// threads. These calls are never executed; they fail to compile if a
+// non-`Send` field sneaks into the simulator.
+fn assert_send<T: Send>() {}
+#[allow(dead_code)]
+fn send_invariants() {
+    assert_send::<CmpSystem>();
+    assert_send::<SimResults>();
+    assert_send::<SystemConfig>();
+}

@@ -46,6 +46,30 @@ pub enum Benchmark {
 }
 
 impl Benchmark {
+    /// Every modelled benchmark, in declaration order.
+    pub const ALL: [Benchmark; 14] = [
+        Benchmark::Barnes,
+        Benchmark::Blackscholes,
+        Benchmark::Canneal,
+        Benchmark::Ferret,
+        Benchmark::Fft,
+        Benchmark::Fluidanimate,
+        Benchmark::Fmm,
+        Benchmark::Lu,
+        Benchmark::Nlu,
+        Benchmark::Radix,
+        Benchmark::Swaptions,
+        Benchmark::Vips,
+        Benchmark::WaterNsq,
+        Benchmark::WaterSpatial,
+    ];
+
+    /// Parses a display name (as printed by [`Benchmark::name`]) back into
+    /// a benchmark — e.g. for command-line `--benchmarks lu,fft` flags.
+    pub fn parse(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.iter().find(|b| b.name() == name).copied()
+    }
+
     /// The eight benchmarks of the trace-driven figures (Figures 6–14).
     pub const TRACE_DRIVEN: [Benchmark; 8] = [
         Benchmark::Barnes,
@@ -383,6 +407,14 @@ mod tests {
             assert!(s.compute_per_mem > 0);
             assert!(!b.name().is_empty());
         }
+    }
+
+    #[test]
+    fn parse_inverts_name_for_every_benchmark() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::parse(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::parse("doom"), None);
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! Cluster-size exploration (the scenario behind Figure 14): sweep LOCO's
-//! cluster shape for a few benchmark models and report the latency /
-//! miss-rate / runtime trade-off, showing that the best cluster size is
-//! application-dependent.
+//! Cluster-size exploration (the scenario behind Figure 14), driven through
+//! the campaign engine: the shape × benchmark sweep is *planned* as one
+//! deduplicated scenario list, *executed* across every available core, and
+//! the table is *assembled* from the completed result set — the same
+//! plan/execute/assemble pipeline the `reproduce` CLI uses for the paper's
+//! full evaluation.
 //!
 //! ```text
 //! cargo run --release -p loco --example cluster_size_explorer
 //! ```
 
-use loco::{Benchmark, ClusterShape, OrganizationKind, RouterKind, SimulationBuilder};
+use loco::campaign::{CampaignPlan, Executor, Scenario};
+use loco::{Benchmark, ClusterShape, ExperimentParams, OrganizationKind, RouterKind};
 
 fn main() {
     let shapes = [
@@ -16,26 +19,51 @@ fn main() {
         ClusterShape::new(4, 4),
     ];
     let benchmarks = [Benchmark::Swaptions, Benchmark::WaterSpatial, Benchmark::Radix];
-    println!("LOCO cluster-size exploration — 64 cores, SMART NoC (HPCmax=4)\n");
+    let params = ExperimentParams::paper_64().with_mem_ops(800);
+
+    // Plan: one scenario per (benchmark, shape), deduplicated.
+    let mut plan = CampaignPlan::new();
+    for &benchmark in &benchmarks {
+        for &cluster in &shapes {
+            plan.add(Scenario::Trace {
+                benchmark,
+                org: OrganizationKind::LocoCcVmsIvr,
+                router: RouterKind::Smart,
+                cluster,
+                full_system: false,
+            });
+        }
+    }
+
+    // Execute: every scenario in parallel, one private CmpSystem per worker.
+    let executor = Executor::all_cores();
+    println!(
+        "LOCO cluster-size exploration — 64 cores, SMART NoC (HPCmax=4), {} scenarios on {} worker thread(s)\n",
+        plan.len(),
+        executor.threads()
+    );
+    let results = executor.execute(&params, &plan);
+
+    // Assemble: read the completed result set in presentation order.
     println!(
         "{:<16} {:>10} {:>14} {:>10} {:>14}",
         "benchmark", "cluster", "hit lat (cyc)", "MPKI", "runtime (cyc)"
     );
     for &benchmark in &benchmarks {
-        for &shape in &shapes {
-            let r = SimulationBuilder::new()
-                .benchmark(benchmark)
-                .organization(OrganizationKind::LocoCcVmsIvr)
-                .router(RouterKind::Smart)
-                .cluster(shape.w, shape.h)
-                .memory_ops_per_core(800)
-                .run();
+        for &cluster in &shapes {
+            let r = results.expect(&Scenario::Trace {
+                benchmark,
+                org: OrganizationKind::LocoCcVmsIvr,
+                router: RouterKind::Smart,
+                cluster,
+                full_system: false,
+            });
             assert!(r.completed);
             println!(
                 "{:<16} {:>7}x{:<2} {:>14.2} {:>10.2} {:>14}",
                 benchmark.name(),
-                shape.w,
-                shape.h,
+                cluster.w,
+                cluster.h,
                 r.avg_l2_hit_latency,
                 r.l2_mpki,
                 r.runtime_cycles

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Times the quickstart campaign (lu on full LOCO and on the shared-cache
-# baseline) and records the numbers in BENCH_results.json, comparing against
-# the previously committed numbers so the perf trajectory is tracked across
-# PRs. All arguments are forwarded to the bench_campaign binary:
+# baseline) plus the quick figure campaign under the parallel executor at
+# 1/2/4/8 workers (the thread-scaling trajectory), and records the numbers
+# in BENCH_results.json, comparing against the previously committed numbers
+# so the perf trajectory is tracked across PRs. All arguments are forwarded
+# to the bench_campaign binary:
 #
 #   scripts/bench.sh                 # full 64-core campaign -> BENCH_results.json
 #   scripts/bench.sh --quick --samples 1 --out target/BENCH_smoke.json

@@ -21,6 +21,13 @@ cargo build --workspace --all-targets --offline
 echo "==> equivalence suite (event-driven == naive stepping, bit for bit)"
 cargo test -q --offline --test equivalence
 
+echo "==> parallel campaign smoke (reproduce: 4-thread output == 1-thread output, byte for byte)"
+cargo build --release --offline -q -p loco-bench --bin reproduce
+./target/release/reproduce --params quick --threads 4 --json target/campaign_t4.json > target/campaign_t4.txt 2>/dev/null
+./target/release/reproduce --params quick --threads 1 --json target/campaign_t1.json > target/campaign_t1.txt 2>/dev/null
+cmp target/campaign_t1.txt target/campaign_t4.txt
+cmp target/campaign_t1.json target/campaign_t4.json
+
 echo "==> bench smoke (--quick campaign, timings to target/)"
 sh scripts/bench.sh --quick --samples 1 --out target/BENCH_smoke.json
 

@@ -1,0 +1,131 @@
+//! Integration tests of the campaign engine (plan / execute / assemble):
+//! plans deduplicate across figures, the parallel executor is
+//! thread-count-invariant, and the legacy `Runner` shim assembles exactly
+//! the figures the campaign path does.
+
+use loco::campaign::{CampaignPlan, Executor, FigureSpec, Scenario};
+use loco::{Benchmark, ExperimentParams, Figure, OrganizationKind, Runner};
+
+fn quick() -> ExperimentParams {
+    // Shorter traces than ExperimentParams::quick(): this suite runs many
+    // scenarios at several worker counts.
+    ExperimentParams::quick().with_mem_ops(120)
+}
+
+const BENCHES: [Benchmark; 2] = [Benchmark::Lu, Benchmark::Barnes];
+
+fn fig06() -> FigureSpec {
+    FigureSpec::Fig06 {
+        benchmarks: BENCHES.to_vec(),
+    }
+}
+
+fn fig11() -> FigureSpec {
+    FigureSpec::Fig11 {
+        benchmarks: BENCHES.to_vec(),
+    }
+}
+
+#[test]
+fn composing_fig06_and_fig11_enumerates_each_scenario_once() {
+    let params = quick();
+    let mut plan = CampaignPlan::new();
+    plan.add_figure(&fig06(), &params);
+    plan.add_figure(&fig11(), &params);
+    // fig06 needs {Private, Shared}, fig11 needs {Shared, LocoCc, LocoCcVms,
+    // LocoCcVmsIvr}: the union is the 5 organizations, once per benchmark.
+    assert_eq!(plan.len(), 5 * BENCHES.len());
+    // No scenario appears twice in the plan order either.
+    let mut seen = std::collections::HashSet::new();
+    for s in plan.scenarios() {
+        assert!(seen.insert(*s), "{} enumerated twice", s.label());
+    }
+    // Re-adding a figure is a no-op.
+    plan.add_figure(&fig06(), &params);
+    assert_eq!(plan.len(), 5 * BENCHES.len());
+}
+
+#[test]
+fn one_thread_and_four_thread_executions_are_identical() {
+    let params = quick();
+    let specs = [
+        fig06(),
+        fig11(),
+        FigureSpec::Fig15 {
+            workloads: vec![0],
+        },
+    ];
+    let mut plan = CampaignPlan::new();
+    for spec in &specs {
+        plan.add_figure(spec, &params);
+    }
+    let serial = Executor::new(1).execute(&params, &plan);
+    let parallel = Executor::new(4).execute(&params, &plan);
+    assert_eq!(serial.len(), plan.len());
+    assert_eq!(parallel.len(), plan.len());
+    // Identical ResultSets, scenario by scenario (SimResults has no Eq;
+    // the Debug rendering covers every field bit-for-bit)...
+    for scenario in plan.scenarios() {
+        assert_eq!(
+            format!("{:?}", serial.expect(scenario)),
+            format!("{:?}", parallel.expect(scenario)),
+            "scenario {} diverged across worker counts",
+            scenario.label()
+        );
+    }
+    // ...and identical assembled figures.
+    let assemble = |results: &loco::ResultSet| -> Vec<Figure> {
+        specs
+            .iter()
+            .flat_map(|s| s.assemble(&params, results))
+            .collect()
+    };
+    assert_eq!(assemble(&serial), assemble(&parallel));
+}
+
+#[test]
+fn runner_shim_matches_the_campaign_figures() {
+    let params = quick();
+    // Campaign path: plan both figures, execute in parallel, assemble.
+    let mut plan = CampaignPlan::new();
+    plan.add_figure(&fig06(), &params);
+    plan.add_figure(&fig11(), &params);
+    let results = Executor::new(2).execute(&params, &plan);
+    let campaign_fig06 = fig06().assemble(&params, &results);
+    let campaign_fig11 = fig11().assemble(&params, &results);
+    // Legacy path: the sequential memoizing Runner.
+    let mut runner = Runner::new(params);
+    let runner_fig06 = runner.fig06_private_vs_shared(&BENCHES);
+    let runner_fig11 = runner.fig11_runtime(&BENCHES);
+    assert_eq!(vec![runner_fig06], campaign_fig06);
+    assert_eq!(vec![runner_fig11], campaign_fig11);
+    // The shim runs each scenario exactly once (the memoization contract
+    // the seed Runner had), which is also the campaign plan size.
+    assert_eq!(runner.simulations_run(), plan.len() as u64);
+}
+
+#[test]
+fn runner_cache_is_reusable_as_a_campaign_result_set() {
+    let params = quick();
+    let mut runner = Runner::new(params);
+    let fig = runner.fig06_private_vs_shared(&BENCHES);
+    // The Runner's memoization cache is a ResultSet: assembling straight
+    // from it reproduces the figure without any further simulation.
+    let reassembled = fig06().assemble(&params, runner.results());
+    assert_eq!(vec![fig], reassembled);
+}
+
+#[test]
+fn executor_handles_plans_smaller_than_the_worker_count() {
+    let params = quick();
+    let mut plan = CampaignPlan::new();
+    plan.add(Scenario::default_trace(
+        &params,
+        Benchmark::Lu,
+        OrganizationKind::Shared,
+    ));
+    let results = Executor::new(8).execute(&params, &plan);
+    assert_eq!(results.len(), 1);
+    let empty = Executor::new(8).execute(&params, &CampaignPlan::new());
+    assert!(empty.is_empty());
+}
