@@ -1,8 +1,9 @@
 //! Times the quickstart campaign (`lu` on full LOCO and on the shared-cache
 //! baseline) and writes the timings to `BENCH_results.json`, so the
 //! simulator's perf trajectory is tracked across PRs. It also times the
-//! full quick-scale figure campaign (figures 6–16, every scenario
-//! deduplicated) under the parallel `loco::campaign::Executor` at 1/2/4/8
+//! full quick-scale figure campaign (figures 6–18, including the energy
+//! figures, every scenario deduplicated) under the parallel
+//! `loco::campaign::Executor` at 1/2/4/8
 //! workers — the thread-scaling trajectory of the campaign engine — and
 //! asserts the assembled figures are identical for every worker count.
 //!
@@ -32,7 +33,7 @@ use loco::campaign::{CampaignPlan, Executor};
 use loco::json::{parse, Value};
 use loco::{Benchmark, ExperimentParams, Figure, OrganizationKind, SimulationBuilder};
 use loco_bench::timing::Summary;
-use loco_bench::{figure_specs, Scale};
+use loco_bench::{figure_specs, Scale, FIGURE_NUMBERS};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -136,7 +137,11 @@ fn summary_json(s: &Summary) -> Value {
 fn time_campaign_scaling(samples: usize) -> Value {
     let scale = Scale::Quick;
     let params = ExperimentParams::quick();
-    let all_figures: Vec<u32> = (6..=16).collect();
+    // The full figure range including the energy figures (17/18). Those add
+    // no scenarios of their own — they ride the axes figures 6–16 already
+    // enumerate — so this also measures the counter-plumbing overhead of
+    // the energy subsystem on an unchanged plan.
+    let all_figures: Vec<u32> = FIGURE_NUMBERS.collect();
     let specs = figure_specs(scale, &all_figures, None);
     let mut plan = CampaignPlan::new();
     for spec in &specs {
@@ -169,7 +174,7 @@ fn time_campaign_scaling(samples: usize) -> Value {
         }
         let summary = Summary::from_samples(&durations).expect("samples > 0");
         println!(
-            "campaign quick/fig06-16  {threads} worker(s): {:>10.1?} (median, {} scenarios)",
+            "campaign quick/fig06-18  {threads} worker(s): {:>10.1?} (median, {} scenarios)",
             summary.median,
             plan.len()
         );
@@ -193,7 +198,7 @@ fn time_campaign_scaling(samples: usize) -> Value {
          ({hardware} hardware thread(s) available)"
     );
     Value::Object(vec![
-        ("campaign".into(), Value::String("quick figures 6-16 (plan/execute/assemble)".into())),
+        ("campaign".into(), Value::String("quick figures 6-18 (plan/execute/assemble)".into())),
         ("scenarios".into(), Value::Number(plan.len() as f64)),
         ("hardware_threads".into(), Value::Number(hardware as f64)),
         ("rows".into(), Value::Array(rows)),

@@ -6,14 +6,15 @@
 //! ```text
 //! cargo run --release -p loco-bench --bin reproduce -- \
 //!     [--params quick|paper64|paper256] [--figures fig06,fig11,...|all] \
-//!     [--threads N] [--json out.json] [--markdown EXPERIMENTS.md] \
-//!     [--benchmarks lu,fft,...] [--mem-ops N]
+//!     [--list-figures] [--threads N] [--json out.json] \
+//!     [--markdown EXPERIMENTS.md] [--benchmarks lu,fft,...] [--mem-ops N]
 //! ```
 //!
 //! * `--params` — the experiment scale (default `paper64`; the original
 //!   `--scale quick|64|256` spelling is still accepted).
 //! * `--figures` — comma-separated figure list, `figNN` or bare numbers
-//!   (default: all of 6–16).
+//!   (default: all of 6–18; 17 and 18 are the energy figures).
+//! * `--list-figures` — print every known figure id and title, then exit.
 //! * `--threads` — worker count for the execute phase (default: all cores).
 //!   Figures are **byte-identical for any thread count**: planning fixes
 //!   the scenario order, every scenario is an independent deterministic
@@ -32,7 +33,7 @@
 use loco::campaign::{CampaignPlan, Executor};
 use loco::json::Value;
 use loco::{Benchmark, Figure, FigureSpec};
-use loco_bench::{figure_spec, Scale};
+use loco_bench::{figure_spec, Scale, FIGURE_NUMBERS};
 use std::time::Instant;
 
 struct Options {
@@ -43,12 +44,13 @@ struct Options {
     mem_ops: Option<u64>,
     json_path: Option<String>,
     markdown_path: Option<String>,
+    list_figures: bool,
 }
 
 fn usage() -> ! {
     println!(
         "usage: reproduce [--params quick|paper64|paper256] [--figures fig06,fig11,...|all]\n\
-         \x20                [--threads N] [--json FILE.json] [--markdown FILE.md]\n\
+         \x20                [--list-figures] [--threads N] [--json FILE.json] [--markdown FILE.md]\n\
          \x20                [--benchmarks lu,fft,...] [--mem-ops N]"
     );
     std::process::exit(0);
@@ -62,22 +64,35 @@ fn bad(msg: &str) -> ! {
 fn parse_figure(token: &str) -> u32 {
     let digits = token.strip_prefix("fig").unwrap_or(token);
     match digits.parse::<u32>() {
-        Ok(n) if (6..=16).contains(&n) => n,
+        Ok(n) if FIGURE_NUMBERS.contains(&n) => n,
         _ => bad(&format!(
-            "unknown figure '{token}' (expected fig06..fig16, bare 6..16, or 'all')"
+            "unknown figure '{token}' (expected fig{:02}..fig{:02}, bare numbers, or 'all' — \
+             run with --list-figures to see every id and title)",
+            FIGURE_NUMBERS.start(),
+            FIGURE_NUMBERS.end()
         )),
     }
+}
+
+/// `--list-figures`: every known figure id + title at the requested scale.
+fn list_figures(scale: Scale) -> ! {
+    for n in FIGURE_NUMBERS {
+        let spec = figure_spec(scale, n, None).expect("range is exhaustive");
+        println!("{}  {}", spec.id(), spec.title());
+    }
+    std::process::exit(0);
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         scale: Scale::Cores64,
-        figures: (6..=16).collect(),
+        figures: FIGURE_NUMBERS.collect(),
         benchmarks: None,
         threads: 0, // 0 = all cores (Executor::new semantics)
         mem_ops: None,
         json_path: None,
         markdown_path: None,
+        list_figures: false,
     };
     let mut it = std::env::args().skip(1);
     let value = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
@@ -90,10 +105,11 @@ fn parse_args() -> Options {
                 opts.scale = Scale::parse(&v)
                     .unwrap_or_else(|| bad(&format!("unknown params '{v}', expected quick|paper64|paper256")));
             }
+            "--list-figures" => opts.list_figures = true,
             "--figures" | "--fig" => {
                 let v = value(&arg, &mut it);
                 if v == "all" {
-                    opts.figures = (6..=16).collect();
+                    opts.figures = FIGURE_NUMBERS.collect();
                 } else {
                     let mut figs: Vec<u32> = Vec::new();
                     for n in v.split(',').map(parse_figure) {
@@ -183,6 +199,9 @@ fn markdown_document(scale: Scale, n_scenarios: usize, figures: &[Figure]) -> St
 
 fn main() {
     let opts = parse_args();
+    if opts.list_figures {
+        list_figures(opts.scale);
+    }
     let mut params = opts.scale.params();
     if let Some(m) = opts.mem_ops {
         params = params.with_mem_ops(m);

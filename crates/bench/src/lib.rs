@@ -106,10 +106,15 @@ pub fn workloads_for(scale: Scale) -> Vec<usize> {
     }
 }
 
-/// Builds the `FigureSpec` for one figure number (6–16) at this scale,
-/// optionally overriding the benchmark x-axis (`None` uses the scale's
-/// default suite). Returns `None` for numbers outside the paper's
-/// evaluation.
+/// The range of figure numbers the harness knows: 6–16 mirror the paper's
+/// evaluation, 17 (energy breakdown) and 18 (energy-delay product) are the
+/// energy figures this reproduction adds.
+pub const FIGURE_NUMBERS: std::ops::RangeInclusive<u32> = 6..=18;
+
+/// Builds the `FigureSpec` for one figure number (see [`FIGURE_NUMBERS`])
+/// at this scale, optionally overriding the benchmark x-axis (`None` uses
+/// the scale's default suite). Returns `None` for numbers outside the
+/// range.
 pub fn figure_spec(scale: Scale, number: u32, benchmarks: Option<&[Benchmark]>) -> Option<FigureSpec> {
     let suite = |def: fn(Scale) -> Vec<Benchmark>| -> Vec<Benchmark> {
         benchmarks.map_or_else(|| def(scale), <[Benchmark]>::to_vec)
@@ -133,6 +138,11 @@ pub fn figure_spec(scale: Scale, number: u32, benchmarks: Option<&[Benchmark]>) 
         },
         16 => FigureSpec::Fig16 {
             benchmarks: suite(fullsystem_benchmarks_for),
+        },
+        17 => FigureSpec::Fig17Energy { benchmarks: b() },
+        18 => FigureSpec::Fig18Edp {
+            benchmarks: b(),
+            shapes: cluster_shapes_for(scale),
         },
         _ => return None,
     })
@@ -163,14 +173,15 @@ mod tests {
 
     #[test]
     fn figure_specs_cover_the_whole_evaluation() {
-        let all: Vec<u32> = (6..=16).collect();
+        let all: Vec<u32> = FIGURE_NUMBERS.collect();
         let specs = figure_specs(Scale::Quick, &all, None);
-        assert_eq!(specs.len(), 11);
-        for (spec, number) in specs.iter().zip(6..=16u32) {
+        assert_eq!(specs.len(), 13);
+        for (spec, number) in specs.iter().zip(FIGURE_NUMBERS) {
             assert_eq!(spec.number(), number);
+            assert!(!spec.title().is_empty());
         }
         assert!(figure_spec(Scale::Quick, 5, None).is_none());
-        assert!(figure_spec(Scale::Quick, 17, None).is_none());
+        assert!(figure_spec(Scale::Quick, 19, None).is_none());
     }
 
     #[test]

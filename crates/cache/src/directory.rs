@@ -92,6 +92,7 @@ impl DirectoryController {
             MsgKind::GblGetS => self.handle_get(msg, false, now, out),
             MsgKind::GblGetM => self.handle_get(msg, true, now, out),
             MsgKind::PutL2 => {
+                self.stats.dir_lookups += 1;
                 let e = self.entries.entry(msg.addr).or_default();
                 e.sharers.remove(msg.src.node);
                 if e.owner == Some(msg.src.node) {
@@ -99,6 +100,7 @@ impl DirectoryController {
                 }
             }
             MsgKind::Unblock => {
+                self.stats.dir_lookups += 1;
                 let replay: Vec<ProtocolMsg> = {
                     let e = self.entries.entry(msg.addr).or_default();
                     e.busy = false;
@@ -116,6 +118,7 @@ impl DirectoryController {
         let requester_l2 = msg.src.node;
         let lat = self.cfg.latency;
         let mem_lat = self.cfg.memory_latency;
+        self.stats.dir_lookups += 1;
         let entry = self.entries.entry(msg.addr).or_default();
         if entry.busy {
             entry.waiting.push_back(msg);

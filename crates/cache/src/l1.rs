@@ -110,6 +110,7 @@ impl L1Controller {
         let line = addr.line(self.array.geometry().line_bytes);
         let set = self.set_of(line);
         self.stats.l1_accesses += 1;
+        self.stats.l1_tag_probes += 1;
         let hit = match self.array.lookup_mut(set, line, now) {
             Some(entry) if !is_write && entry.meta.can_read() => true,
             Some(entry) if is_write && entry.meta.can_write() => true,
@@ -117,6 +118,11 @@ impl L1Controller {
         };
         if hit {
             self.stats.l1_hits += 1;
+            if is_write {
+                self.stats.l1_data_writes += 1;
+            } else {
+                self.stats.l1_data_reads += 1;
+            }
             return L1Access::Hit;
         }
         self.stats.l1_misses += 1;
@@ -151,8 +157,12 @@ impl L1Controller {
                 let exclusive = matches!(msg.kind, MsgKind::DataM(_));
                 let state = if exclusive { MsiState::M } else { MsiState::S };
                 let set = self.set_of(msg.addr);
+                self.stats.l1_data_writes += 1;
                 match self.array.insert(set, msg.addr, state, now) {
                     Eviction::Victim(victim) if victim.meta == MsiState::M => {
+                        // The dirty victim is read out of the array for the
+                        // writeback.
+                        self.stats.l1_data_reads += 1;
                         let victim_home = self.org.home_node(self.node, victim.addr);
                         out.push(Outgoing::after(
                             1,
@@ -183,10 +193,15 @@ impl L1Controller {
             }
             MsgKind::InvL1 => {
                 let set = self.set_of(msg.addr);
+                self.stats.l1_tag_probes += 1;
                 let dirty = match self.array.invalidate(set, msg.addr) {
                     Some(entry) => entry.meta == MsiState::M,
                     None => false,
                 };
+                if dirty {
+                    // Modified data is read out to travel with the ack.
+                    self.stats.l1_data_reads += 1;
+                }
                 out.push(Outgoing::after(
                     1,
                     ProtocolMsg::derived(

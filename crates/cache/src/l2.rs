@@ -222,6 +222,7 @@ impl L2Controller {
         let is_write = msg.kind == MsgKind::GetM;
         let requester = msg.requester;
         self.stats.l2_accesses += 1;
+        self.stats.l2_tag_probes += 1;
         let set = self.set_of(msg.addr);
         let resident = self
             .array
@@ -276,6 +277,7 @@ impl L2Controller {
         if let Some(entry) = self.array.peek_mut(set, msg.addr) {
             entry.meta.sharers.insert(msg.requester);
         }
+        self.stats.l2_data_reads += 1;
         out.push(Outgoing::after(
             self.lat(),
             ProtocolMsg::derived(
@@ -387,7 +389,12 @@ impl L2Controller {
 
     fn handle_l1_writeback(&mut self, msg: ProtocolMsg, now: u64) {
         let set = self.set_of(msg.addr);
+        self.stats.l2_tag_probes += 1;
+        // The data write is charged only when the line is still resident —
+        // a writeback racing an L2 eviction probes the tags and deposits
+        // nothing.
         if let Some(entry) = self.array.lookup_mut(set, msg.addr, now) {
+            self.stats.l2_data_writes += 1;
             entry.meta.sharers.remove(msg.src.node);
             if entry.meta.l1_owner == Some(msg.src.node) {
                 entry.meta.l1_owner = None;
@@ -440,9 +447,11 @@ impl L2Controller {
         // meantime we still respond with data (see module docs) to keep the
         // requester from stalling.
         let set = self.set_of(msg.addr);
+        self.stats.l2_tag_probes += 1;
         if let Some(entry) = self.array.lookup_mut(set, msg.addr, now) {
             entry.meta.state = entry.meta.state.after_sharing();
         }
+        self.stats.l2_data_reads += 1;
         let requester_home = self.requesting_home(msg.requester, msg.addr);
         out.push(Outgoing::after(
             self.lat(),
@@ -459,6 +468,7 @@ impl L2Controller {
         // FwdGetM (we are the owner) or InvL2 (we are a sharer): invalidate
         // the domain's copy, collecting local L1 acks first, then acknowledge
         // to the requesting home L2 (with data iff we owned the line).
+        self.stats.l2_tag_probes += 1;
         let with_data = msg.kind == MsgKind::FwdGetM;
         let requester_home = self.requesting_home(msg.requester, msg.addr);
         self.remote_invalidate(msg, Agent::l2(requester_home), with_data, now, out);
@@ -466,9 +476,11 @@ impl L2Controller {
 
     fn handle_bcast_gets(&mut self, msg: ProtocolMsg, now: u64, out: &mut Vec<Outgoing>) {
         let set = self.set_of(msg.addr);
+        self.stats.l2_tag_probes += 1;
         let reply_kind = match self.array.lookup_mut(set, msg.addr, now) {
             Some(entry) if entry.meta.state.is_owner() => {
                 entry.meta.state = entry.meta.state.after_sharing();
+                self.stats.l2_data_reads += 1;
                 MsgKind::OwnerData
             }
             _ => MsgKind::AckNoData,
@@ -481,6 +493,7 @@ impl L2Controller {
 
     fn handle_bcast_getm(&mut self, msg: ProtocolMsg, now: u64, out: &mut Vec<Outgoing>) {
         let set = self.set_of(msg.addr);
+        self.stats.l2_tag_probes += 1;
         if self.array.peek(set, msg.addr).is_none() {
             out.push(Outgoing::after(
                 self.lat(),
@@ -521,6 +534,9 @@ impl L2Controller {
             // transaction — answer immediately to avoid cross-cluster
             // deadlock; the local transaction will re-establish coherence
             // when it completes).
+            if with_data {
+                self.stats.l2_data_reads += 1;
+            }
             let kind = if with_data { MsgKind::OwnerDataM } else { MsgKind::InvAckL2 };
             out.push(Outgoing::after(
                 self.lat(),
@@ -552,6 +568,9 @@ impl L2Controller {
         }
         let mshr = self.mshrs.remove(&addr).expect("remote-inv mshr present");
         let reply_to = mshr.reply_to.expect("remote-inv has a reply target");
+        if mshr.reply_with_data {
+            self.stats.l2_data_reads += 1;
+        }
         let kind = if mshr.reply_with_data {
             MsgKind::OwnerDataM
         } else {
@@ -712,6 +731,7 @@ impl L2Controller {
                 meta.l1_owner = Some(mshr.requester_l1);
                 meta.state = MoesiState::M;
             }
+            self.stats.l2_data_writes += 1;
             if let Eviction::Victim(victim) = self.array.insert(set, addr, meta, now) {
                 self.handle_eviction(victim, 0, now, out);
             }
@@ -726,7 +746,9 @@ impl L2Controller {
             }
         }
 
-        // Grant to the requesting L1.
+        // Grant to the requesting L1 (the data is read back out of the
+        // array, or forwarded straight through on a miss fill).
+        self.stats.l2_data_reads += 1;
         let grant = if mshr.kind == TxnKind::Write {
             MsgKind::DataM(mshr.source)
         } else {
@@ -786,8 +808,10 @@ impl L2Controller {
         }
         if self.org.uses_ivr() && victim.meta.state.is_valid() && chain_hop < self.cfg.ivr_threshold {
             // Inter-cluster victim replacement: migrate to the same-HNid home
-            // node of a random other cluster.
+            // node of a random other cluster (the victim's data is read out
+            // of the array to travel with the migration).
             self.stats.ivr_migrations += 1;
+            self.stats.l2_data_reads += 1;
             let my_cluster = self.org.cluster_of(self.node);
             let n = self.org.num_clusters();
             let mut target = self.rng.index(n);
@@ -816,6 +840,8 @@ impl L2Controller {
             self.stats.ivr_writebacks += 1;
         }
         if victim.meta.state.is_dirty() {
+            // The dirty victim is read out for the off-chip writeback.
+            self.stats.l2_data_reads += 1;
             let mem = self.memmap.controller_for(victim.addr);
             out.push(Outgoing::after(
                 self.lat(),
@@ -857,6 +883,7 @@ impl L2Controller {
         out: &mut Vec<Outgoing>,
     ) {
         let set = self.set_of(msg.addr);
+        self.stats.l2_tag_probes += 1;
         // Already resident: merge ownership and drop the migrant.
         if let Some(entry) = self.array.peek_mut(set, msg.addr) {
             if state.is_owner() && !entry.meta.state.is_owner() {
@@ -871,6 +898,7 @@ impl L2Controller {
         };
         if accept {
             self.stats.ivr_accepted += 1;
+            self.stats.l2_data_writes += 1;
             let meta = L2Meta::new(state);
             let displaced = self.array.insert(set, msg.addr, meta, now);
             // Preserve the migrant's age so it does not unfairly outlive

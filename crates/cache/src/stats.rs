@@ -50,6 +50,24 @@ pub struct CacheStats {
     pub remote_hits: u64,
     /// VMS broadcasts issued.
     pub broadcasts: u64,
+    // --- Event counters for the energy model (`loco-energy`). These count
+    // micro-architectural array/structure activations, not protocol
+    // outcomes; each is multiplied by a per-event cost in `EnergyParams`.
+    /// L1 tag-array probes (every core-side access and every invalidation).
+    pub l1_tag_probes: u64,
+    /// L1 data-array reads (load hits, dirty victim/invalidation read-outs).
+    pub l1_data_reads: u64,
+    /// L1 data-array writes (store hits and line fills).
+    pub l1_data_writes: u64,
+    /// L2 tag-array probes (requests, writebacks, broadcasts, IVR arrivals).
+    pub l2_tag_probes: u64,
+    /// L2 data-array reads (every data-bearing reply or writeback sourced
+    /// from the array).
+    pub l2_data_reads: u64,
+    /// L2 data-array writes (line installs, L1 writeback deposits).
+    pub l2_data_writes: u64,
+    /// Global-directory lookups (gets, evictions, unblocks).
+    pub dir_lookups: u64,
 }
 
 impl CacheStats {
@@ -75,6 +93,13 @@ impl CacheStats {
         self.ivr_writebacks += other.ivr_writebacks;
         self.remote_hits += other.remote_hits;
         self.broadcasts += other.broadcasts;
+        self.l1_tag_probes += other.l1_tag_probes;
+        self.l1_data_reads += other.l1_data_reads;
+        self.l1_data_writes += other.l1_data_writes;
+        self.l2_tag_probes += other.l2_tag_probes;
+        self.l2_data_reads += other.l2_data_reads;
+        self.l2_data_writes += other.l2_data_writes;
+        self.dir_lookups += other.dir_lookups;
     }
 
     /// L2 misses per thousand instructions (Figure 8).
@@ -173,6 +198,13 @@ mod tests {
             l1_accesses: 2,
             offchip_fetches: 3,
             broadcasts: 4,
+            l1_tag_probes: 5,
+            l1_data_reads: 6,
+            l1_data_writes: 7,
+            l2_tag_probes: 8,
+            l2_data_reads: 9,
+            l2_data_writes: 10,
+            dir_lookups: 11,
             ..CacheStats::default()
         };
         let b = a.clone();
@@ -181,5 +213,12 @@ mod tests {
         assert_eq!(a.l1_accesses, 4);
         assert_eq!(a.offchip_fetches, 6);
         assert_eq!(a.broadcasts, 8);
+        assert_eq!(a.l1_tag_probes, 10);
+        assert_eq!(a.l1_data_reads, 12);
+        assert_eq!(a.l1_data_writes, 14);
+        assert_eq!(a.l2_tag_probes, 16);
+        assert_eq!(a.l2_data_reads, 18);
+        assert_eq!(a.l2_data_writes, 20);
+        assert_eq!(a.dir_lookups, 22);
     }
 }

@@ -39,6 +39,7 @@
 use crate::experiments::ExperimentParams;
 use crate::report::{Figure, Series};
 use loco_cache::{ClusterShape, OrganizationKind};
+use loco_energy::{EnergyBreakdown, EnergyParams};
 use loco_noc::{FxHashMap, FxHashSet, RouterKind};
 use loco_sim::{CmpSystem, SimResults};
 use loco_workloads::{Benchmark, MultiProgramWorkload, TraceGenerator};
@@ -458,13 +459,40 @@ pub enum FigureSpec {
         /// The benchmark x-axis.
         benchmarks: Vec<Benchmark>,
     },
+    /// Figures 17a+17b: event-level energy of each cache organization
+    /// (17a: energy per instruction by organization across the benchmarks;
+    /// 17b: the network/cache/DRAM component breakdown per organization,
+    /// averaged over the benchmarks). Uses [`EnergyParams::default`] — the
+    /// paper-calibrated per-event costs.
+    Fig17Energy {
+        /// The benchmark x-axis.
+        benchmarks: Vec<Benchmark>,
+    },
+    /// Figure 18: the energy-delay product of full LOCO by cluster shape,
+    /// normalized to the shared-cache baseline (pairing Figure 14's
+    /// performance sweep with an energy-efficiency axis).
+    Fig18Edp {
+        /// The benchmark x-axis.
+        benchmarks: Vec<Benchmark>,
+        /// The cluster shapes to sweep.
+        shapes: Vec<ClusterShape>,
+    },
 }
 
 /// The three router kinds of the NoC-comparison figures, in paper order.
 const NOC_SWEEP: [RouterKind; 3] = [RouterKind::Smart, RouterKind::Conventional, RouterKind::HighRadix];
 
+/// The organizations of the energy-breakdown figure, in paper order.
+const ENERGY_ORGS: [OrganizationKind; 5] = [
+    OrganizationKind::Private,
+    OrganizationKind::Shared,
+    OrganizationKind::LocoCc,
+    OrganizationKind::LocoCcVms,
+    OrganizationKind::LocoCcVmsIvr,
+];
+
 impl FigureSpec {
-    /// The figure's identifier ("fig06" … "fig16").
+    /// The figure's identifier ("fig06" … "fig18").
     pub fn id(&self) -> &'static str {
         match self {
             FigureSpec::Fig06 { .. } => "fig06",
@@ -478,10 +506,13 @@ impl FigureSpec {
             FigureSpec::Fig14 { .. } => "fig14",
             FigureSpec::Fig15 { .. } => "fig15",
             FigureSpec::Fig16 { .. } => "fig16",
+            FigureSpec::Fig17Energy { .. } => "fig17",
+            FigureSpec::Fig18Edp { .. } => "fig18",
         }
     }
 
-    /// The paper's figure number (6–16).
+    /// The figure number (6–16 mirror the paper; 17–18 are the energy
+    /// figures this reproduction adds on top of the evaluation).
     pub fn number(&self) -> u32 {
         match self {
             FigureSpec::Fig06 { .. } => 6,
@@ -495,6 +526,30 @@ impl FigureSpec {
             FigureSpec::Fig14 { .. } => 14,
             FigureSpec::Fig15 { .. } => 15,
             FigureSpec::Fig16 { .. } => 16,
+            FigureSpec::Fig17Energy { .. } => 17,
+            FigureSpec::Fig18Edp { .. } => 18,
+        }
+    }
+
+    /// A short human-readable title (what `reproduce --list-figures`
+    /// prints).
+    pub fn title(&self) -> &'static str {
+        match self {
+            FigureSpec::Fig06 { .. } => "Normalized runtime of private vs. shared caches",
+            FigureSpec::Fig07 { .. } => "Increase of L2 access latency over Private Cache",
+            FigureSpec::Fig08 { .. } => "L2 cache misses per 1000 instructions",
+            FigureSpec::Fig09 { .. } => "Global search delay for data cached on-chip",
+            FigureSpec::Fig10 { .. } => "Normalized off-chip memory accesses",
+            FigureSpec::Fig11 { .. } => "Normalized runtimes of LOCO against Shared Cache",
+            FigureSpec::Fig12 { .. } => "LOCO L2 hit latency and search delay under alternative NoCs",
+            FigureSpec::Fig13 { .. } => "LOCO runtime under alternative NoCs",
+            FigureSpec::Fig14 { .. } => "LOCO by cluster size (latency, MPKI, search delay, runtime)",
+            FigureSpec::Fig15 { .. } => "Multi-program workloads (off-chip accesses, runtime)",
+            FigureSpec::Fig16 { .. } => "Full-system simulation (MPKI, runtime)",
+            FigureSpec::Fig17Energy { .. } => {
+                "Energy per instruction and breakdown by cache organization"
+            }
+            FigureSpec::Fig18Edp { .. } => "Energy-delay product by cluster size",
         }
     }
 
@@ -616,6 +671,27 @@ impl FigureSpec {
                             router: RouterKind::Smart,
                             cluster: params.cluster,
                             full_system: true,
+                        });
+                    }
+                }
+            }
+            FigureSpec::Fig17Energy { benchmarks } => {
+                for &b in benchmarks {
+                    for org in ENERGY_ORGS {
+                        out.push(Scenario::default_trace(params, b, org));
+                    }
+                }
+            }
+            FigureSpec::Fig18Edp { benchmarks, shapes } => {
+                for &b in benchmarks {
+                    out.push(Scenario::default_trace(params, b, OrganizationKind::Shared));
+                    for &shape in shapes {
+                        out.push(Scenario::Trace {
+                            benchmark: b,
+                            org: OrganizationKind::LocoCcVmsIvr,
+                            router: RouterKind::Smart,
+                            cluster: shape,
+                            full_system: false,
                         });
                     }
                 }
@@ -956,6 +1032,99 @@ impl FigureSpec {
                 runtime.push_average_column();
                 vec![mpki, runtime]
             }
+            FigureSpec::Fig17Energy { benchmarks } => {
+                let energy = EnergyParams::default();
+                let breakdown = |b: Benchmark, org: OrganizationKind| -> EnergyBreakdown {
+                    energy.breakdown(get_default(b, org))
+                };
+                // 17a: energy per instruction, per organization, across the
+                // benchmark x-axis (nJ so the magnitudes stay readable).
+                let mut epi = Figure::new(
+                    format!("fig17a-{}", params.label()),
+                    "Energy per instruction by cache organization",
+                    "nJ / instruction",
+                );
+                epi.x_labels = bench_labels(benchmarks);
+                for org in ENERGY_ORGS {
+                    let v: Vec<f64> = benchmarks
+                        .iter()
+                        .map(|&b| breakdown(b, org).epi_fj() / 1e6)
+                        .collect();
+                    epi.push_series(Series::new(org.label(), v));
+                }
+                epi.push_average_column();
+                // 17b: the subsystem breakdown per organization, averaged
+                // over the benchmarks (the stacked-bar view of 17a).
+                let mut parts = Figure::new(
+                    format!("fig17b-{}", params.label()),
+                    "Energy breakdown by subsystem (benchmark average)",
+                    "nJ / instruction",
+                );
+                parts.x_labels = ENERGY_ORGS.iter().map(|o| o.label().to_string()).collect();
+                let n = benchmarks.len().max(1) as f64;
+                let component = |f: &dyn Fn(&EnergyBreakdown) -> u64| -> Vec<f64> {
+                    ENERGY_ORGS
+                        .iter()
+                        .map(|&org| {
+                            benchmarks
+                                .iter()
+                                .map(|&b| {
+                                    let bd = breakdown(b, org);
+                                    if bd.instructions == 0 {
+                                        0.0
+                                    } else {
+                                        f(&bd) as f64 / bd.instructions as f64 / 1e6
+                                    }
+                                })
+                                .sum::<f64>()
+                                / n
+                        })
+                        .collect()
+                };
+                parts.push_series(Series::new("NoC", component(&|b| b.network.total_fj())));
+                parts.push_series(Series::new("L1", component(&|b| b.cache.l1_fj)));
+                parts.push_series(Series::new("L2", component(&|b| b.cache.l2_fj)));
+                parts.push_series(Series::new(
+                    "Directory",
+                    component(&|b| b.cache.directory_fj),
+                ));
+                parts.push_series(Series::new(
+                    "VMS+IVR",
+                    component(&|b| b.cache.vms_fj + b.cache.ivr_fj),
+                ));
+                parts.push_series(Series::new("DRAM", component(&|b| b.dram_fj)));
+                vec![epi, parts]
+            }
+            FigureSpec::Fig18Edp { benchmarks, shapes } => {
+                let energy = EnergyParams::default();
+                let mut fig = Figure::new(
+                    format!("fig18-{}", params.label()),
+                    "Energy-delay product of LOCO by cluster size",
+                    "EDP normalized to Shared Cache",
+                );
+                fig.x_labels = bench_labels(benchmarks);
+                for &shape in shapes {
+                    let mut v = Vec::new();
+                    for &b in benchmarks {
+                        let shared =
+                            energy.breakdown(get_default(b, OrganizationKind::Shared));
+                        let r = results.expect(&Scenario::Trace {
+                            benchmark: b,
+                            org: OrganizationKind::LocoCcVmsIvr,
+                            router: RouterKind::Smart,
+                            cluster: shape,
+                            full_system: false,
+                        });
+                        v.push(energy.breakdown(r).edp_normalized_to(&shared));
+                    }
+                    fig.push_series(Series::new(
+                        format!("Cluster Size:{}x{}", shape.w, shape.h),
+                        v,
+                    ));
+                }
+                fig.push_average_column();
+                vec![fig]
+            }
         }
     }
 }
@@ -1054,5 +1223,75 @@ mod tests {
     fn executor_zero_means_all_cores() {
         assert!(Executor::new(0).threads() >= 1);
         assert_eq!(Executor::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn energy_figure_rides_the_existing_scenario_axes() {
+        let params = quick();
+        let spec = FigureSpec::Fig17Energy {
+            benchmarks: vec![Benchmark::Lu],
+        };
+        let mut plan = CampaignPlan::new();
+        plan.add_figure(&spec, &params);
+        assert_eq!(plan.len(), 5, "one scenario per organization");
+        // The scenarios are plain default traces: composing with fig11
+        // re-enumerates nothing new beyond Private.
+        plan.add_figure(
+            &FigureSpec::Fig11 {
+                benchmarks: vec![Benchmark::Lu],
+            },
+            &params,
+        );
+        assert_eq!(plan.len(), 5);
+        let results = Executor::new(2).execute(&params, &plan);
+        let figs = spec.assemble(&params, &results);
+        assert_eq!(figs.len(), 2);
+        assert_eq!(figs[0].id, format!("fig17a-{}", params.label()));
+        assert_eq!(figs[0].series.len(), 5, "one series per organization");
+        assert_eq!(figs[1].series.len(), 6, "one series per subsystem");
+        // Every run executes instructions and touches DRAM, so energy is
+        // strictly positive everywhere.
+        for s in &figs[0].series {
+            for v in &s.values {
+                assert!(*v > 0.0 && v.is_finite(), "{}: {v}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn edp_figure_normalizes_against_shared() {
+        let params = quick();
+        let spec = FigureSpec::Fig18Edp {
+            benchmarks: vec![Benchmark::Lu],
+            shapes: vec![ClusterShape::new(2, 2)],
+        };
+        let mut plan = CampaignPlan::new();
+        plan.add_figure(&spec, &params);
+        assert_eq!(plan.len(), 2, "Shared baseline + one shape");
+        let results = Executor::new(1).execute(&params, &plan);
+        let figs = spec.assemble(&params, &results);
+        assert_eq!(figs.len(), 1);
+        let v = figs[0].series[0].values[0];
+        assert!(v > 0.0 && v.is_finite());
+    }
+
+    #[test]
+    fn every_figure_has_an_id_number_and_title() {
+        let specs = [
+            FigureSpec::Fig06 { benchmarks: vec![] },
+            FigureSpec::Fig17Energy { benchmarks: vec![] },
+            FigureSpec::Fig18Edp {
+                benchmarks: vec![],
+                shapes: vec![],
+            },
+        ];
+        assert_eq!(specs[0].id(), "fig06");
+        assert_eq!(specs[1].id(), "fig17");
+        assert_eq!(specs[1].number(), 17);
+        assert_eq!(specs[2].id(), "fig18");
+        assert_eq!(specs[2].number(), 18);
+        for s in &specs {
+            assert!(!s.title().is_empty());
+        }
     }
 }

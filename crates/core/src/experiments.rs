@@ -345,6 +345,25 @@ impl Runner {
         })
         .remove(1)
     }
+
+    // ------------------------------------------------- Figures 17 & 18 (energy)
+
+    /// Figures 17a+17b: energy per instruction by cache organization and the
+    /// subsystem (NoC / L1 / L2 / directory / VMS+IVR / DRAM) breakdown.
+    pub fn fig17_energy(&mut self, benchmarks: &[Benchmark]) -> Vec<Figure> {
+        self.figure(FigureSpec::Fig17Energy {
+            benchmarks: benchmarks.to_vec(),
+        })
+    }
+
+    /// Figure 18: energy-delay product of full LOCO by cluster shape,
+    /// normalized to the shared-cache baseline.
+    pub fn fig18_edp(&mut self, benchmarks: &[Benchmark], shapes: &[ClusterShape]) -> Figure {
+        self.single(FigureSpec::Fig18Edp {
+            benchmarks: benchmarks.to_vec(),
+            shapes: shapes.to_vec(),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@
 //! * [`experiments::Runner`] — the sequential memoizing shim over the
 //!   campaign engine (reproduce individual figures in-process),
 //! * re-exports of the substrate crates (`loco-noc`, `loco-cache`,
-//!   `loco-sim`, `loco-workloads`).
+//!   `loco-sim`, `loco-energy`, `loco-workloads`) — including
+//!   [`EnergyParams`] / [`EnergyBreakdown`], the event-level energy model
+//!   over the simulator's counters.
 //!
 //! ```rust
 //! use loco::SimulationBuilder;
@@ -56,9 +58,10 @@ pub use loco_cache::{
     Address, CacheGeometry, CacheStats, ClusterShape, LineAddr, MoesiState, MsiState,
     Organization, OrganizationKind,
 };
+pub use loco_energy::{CacheEnergy, EnergyBreakdown, EnergyParams, NetworkEnergy};
 pub use loco_noc::{
-    FxBuildHasher, FxHashMap, FxHashSet, Mesh, NetworkStats, NocConfig, NodeId, RouterKind,
-    VirtualMesh,
+    FabricCounters, FxBuildHasher, FxHashMap, FxHashSet, Mesh, NetworkStats, NocConfig, NodeId,
+    RouterKind, VirtualMesh,
 };
 pub use loco_sim::{CmpSystem, SimResults, SystemConfig};
 pub use loco_workloads::{Benchmark, BenchmarkSpec, MultiProgramWorkload, TraceGenerator};

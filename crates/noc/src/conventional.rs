@@ -14,6 +14,7 @@ use crate::router::{
     dir_link, ActiveSet, Arrival, Buffered, FabricEngine, FlightInfo, InputBuffers, LinkOccupancy,
     RoundRobin,
 };
+use crate::stats::FabricCounters;
 use crate::topology::{Direction, Mesh, NodeId};
 
 const PORTS: usize = 5;
@@ -43,7 +44,7 @@ pub struct ConventionalFabric {
     arbiters: Vec<RoundRobin>,
     links: LinkOccupancy,
     in_flight: usize,
-    buffer_writes: u64,
+    counters: FabricCounters,
     // Persistent per-tick scratch (steady state must not allocate).
     move_scratch: Vec<Move>,
     /// Downstream buffer slots reserved by earlier winners this cycle,
@@ -69,7 +70,7 @@ impl ConventionalFabric {
             arbiters: (0..nodes * PORTS).map(|_| RoundRobin::new()).collect(),
             links: LinkOccupancy::new(nodes, PORTS),
             in_flight: 0,
-            buffer_writes: 0,
+            counters: FabricCounters::default(),
             move_scratch: Vec::new(),
             reserved_scratch: vec![0; nodes * PORTS * VirtualNetwork::ALL.len()],
             reserved_dirty: Vec::new(),
@@ -99,7 +100,7 @@ impl FabricEngine for ConventionalFabric {
         );
         self.active.set(flight.src.index());
         self.in_flight += 1;
-        self.buffer_writes += 1;
+        self.counters.buffer_writes += 1;
     }
 
     fn tick(&mut self, now: u64, arrivals: &mut Vec<Arrival>) {
@@ -192,6 +193,13 @@ impl FabricEngine for ConventionalFabric {
             }
             let flight = buffered.flight;
             let flits = flight.flits as u64;
+            // Event accounting: one buffer read + one crossbar pass at the
+            // winning router, one link crossed flit by flit, one latch at
+            // the downstream router.
+            self.counters.buffer_reads += 1;
+            self.counters.crossbar_traversals += 1;
+            self.counters.link_flit_hops += flits;
+            self.counters.stop_hops += 1;
             // The output link is held for the full packet length.
             self.links
                 .occupy(mv.node, dir_link(mv.out), now + flits);
@@ -210,7 +218,7 @@ impl FabricEngine for ConventionalFabric {
             } else {
                 let mut f = flight;
                 f.stops += 1;
-                self.buffer_writes += 1;
+                self.counters.buffer_writes += 1;
                 self.buffers[mv.next.index()].push(
                     mv.out.opposite().index(),
                     mv.vn,
@@ -260,8 +268,8 @@ impl FabricEngine for ConventionalFabric {
         self.in_flight
     }
 
-    fn buffer_writes(&self) -> u64 {
-        self.buffer_writes
+    fn counters(&self) -> &FabricCounters {
+        &self.counters
     }
 }
 
@@ -381,6 +389,29 @@ mod tests {
         // ~2 cycles per hop over 7 hops, same as the naive per-cycle walk.
         let latency = arrivals[0].now - arrivals[0].flight.injected_at;
         assert!((14..=17).contains(&latency), "latency {latency}");
+    }
+
+    #[test]
+    fn event_counters_match_the_hop_count() {
+        let cfg = NocConfig::conventional_mesh(8, 8);
+        let mut fab = ConventionalFabric::new(cfg);
+        // 0 -> 7: 7 hops, single flit, no contention.
+        fab.inject(flight(1, 0, 7, 1, 0), 0);
+        let mut arrivals = Vec::new();
+        for now in 0..100 {
+            fab.tick(now, &mut arrivals);
+        }
+        assert_eq!(arrivals.len(), 1);
+        let c = *fab.counters();
+        assert_eq!(c.buffer_reads, 7, "one read per hop");
+        assert_eq!(c.crossbar_traversals, 7);
+        assert_eq!(c.link_flit_hops, 7);
+        assert_eq!(c.stop_hops, 7);
+        // Injection plus 6 intermediate latchings (the destination ejects).
+        assert_eq!(c.buffer_writes, 7);
+        assert_eq!(fab.buffer_writes(), 7);
+        assert_eq!(c.ssr_broadcasts, 0, "no SSRs on a conventional fabric");
+        assert_eq!(c.pipeline_passes, 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::message::VirtualNetwork;
 use crate::router::{
     ActiveSet, Arrival, Buffered, FabricEngine, FlightInfo, InputBuffers, LinkOccupancy, RoundRobin,
 };
+use crate::stats::FabricCounters;
 use crate::topology::{Direction, Mesh, NodeId};
 
 /// Input ports: 4 directions x HPCmax spans + 1 local. We fold all spans of a
@@ -48,7 +49,7 @@ pub struct HighRadixFabric {
     /// One link slot per (direction, span).
     links: LinkOccupancy,
     in_flight: usize,
-    buffer_writes: u64,
+    counters: FabricCounters,
     // Persistent per-tick scratch (steady state must not allocate).
     move_scratch: Vec<Move>,
     /// Downstream buffer slots reserved by earlier winners this cycle,
@@ -75,7 +76,7 @@ impl HighRadixFabric {
             arbiters: (0..nodes * 4).map(|_| RoundRobin::new()).collect(),
             links: LinkOccupancy::new(nodes, links_per_node),
             in_flight: 0,
-            buffer_writes: 0,
+            counters: FabricCounters::default(),
             move_scratch: Vec::new(),
             reserved_scratch: vec![0; nodes * PORTS * VirtualNetwork::ALL.len()],
             reserved_dirty: Vec::new(),
@@ -120,7 +121,7 @@ impl FabricEngine for HighRadixFabric {
         );
         self.active.set(flight.src.index());
         self.in_flight += 1;
-        self.buffer_writes += 1;
+        self.counters.buffer_writes += 1;
     }
 
     fn tick(&mut self, now: u64, arrivals: &mut Vec<Arrival>) {
@@ -204,6 +205,16 @@ impl FabricEngine for HighRadixFabric {
             }
             let mut flight = buffered.flight;
             let flits = flight.flits as u64;
+            // Event accounting: one buffer read and one (multi-stage)
+            // crossbar pass at the winning router, one express link whose
+            // wire spans `span` mesh hops, a full pipeline pass and a latch
+            // at the landing router.
+            self.counters.buffer_reads += 1;
+            self.counters.crossbar_traversals += 1;
+            self.counters.express_traversals += 1;
+            self.counters.link_flit_hops += u64::from(mv.span) * flits;
+            self.counters.pipeline_passes += 1;
+            self.counters.stop_hops += 1;
             self.links
                 .occupy(mv.node, self.link_slot(mv.dir, mv.span), now + flits);
             let landing = self.mesh.advance(mv.node, mv.dir, mv.span);
@@ -222,7 +233,7 @@ impl FabricEngine for HighRadixFabric {
                     now: arrival_cycle,
                 });
             } else {
-                self.buffer_writes += 1;
+                self.counters.buffer_writes += 1;
                 self.buffers[landing.index()].push(
                     mv.dir.opposite().index(),
                     mv.vn,
@@ -274,8 +285,8 @@ impl FabricEngine for HighRadixFabric {
         self.in_flight
     }
 
-    fn buffer_writes(&self) -> u64 {
-        self.buffer_writes
+    fn counters(&self) -> &FabricCounters {
+        &self.counters
     }
 }
 
@@ -377,6 +388,23 @@ mod tests {
         assert_eq!(arrivals.len(), 1);
         assert_eq!(arrivals[0].flight.stops, 2);
         assert_eq!(fab.next_event(now), None, "drained fabric is quiescent");
+    }
+
+    #[test]
+    fn event_counters_charge_pipeline_passes_and_wire_spans() {
+        let cfg = NocConfig::highradix_mesh(8, 8, 4);
+        let mut fab = HighRadixFabric::new(cfg);
+        // One 4-hop express link: a single move whose wire spans 4 hops.
+        fab.inject(flight(1, 0, 4, 1), 0);
+        drain(&mut fab, 30);
+        let c = *fab.counters();
+        assert_eq!(c.express_traversals, 1);
+        assert_eq!(c.pipeline_passes, 1);
+        assert_eq!(c.link_flit_hops, 4, "express wire length is span-weighted");
+        assert_eq!(c.crossbar_traversals, 1);
+        assert_eq!(c.stop_hops, 1);
+        assert_eq!(c.buffer_writes, 1, "injection only");
+        assert_eq!(c.ssr_broadcasts, 0, "no SSRs on a high-radix fabric");
     }
 
     #[test]

@@ -68,6 +68,6 @@ pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use message::{Delivered, Destination, MulticastGroupId, NetMessage, VirtualNetwork};
 pub use network::{InjectError, Network};
 pub use rng::SplitMix64;
-pub use stats::NetworkStats;
+pub use stats::{FabricCounters, NetworkStats};
 pub use topology::{Coord, Direction, Mesh, NodeId};
 pub use vms::VirtualMesh;

@@ -458,9 +458,19 @@ impl<P: Clone> Network<P> {
         self.fabric.as_engine_ref().in_flight() + self.pending.len()
     }
 
-    /// Aggregate statistics.
-    pub fn stats(&self) -> &NetworkStats {
-        &self.stats
+    /// Aggregate statistics: a snapshot of the front-end delivery stats with
+    /// the fabric's live event counters folded into
+    /// [`NetworkStats::fabric`].
+    pub fn stats(&self) -> NetworkStats {
+        let mut stats = self.stats.clone();
+        stats.fabric = *self.fabric.as_engine_ref().counters();
+        stats
+    }
+
+    /// The fabric's micro-architectural event counters (the raw inputs of
+    /// the event-energy model).
+    pub fn fabric_counters(&self) -> &crate::stats::FabricCounters {
+        self.fabric.as_engine_ref().counters()
     }
 
     /// Total router-buffer writes performed by the fabric (a proxy for
@@ -618,6 +628,11 @@ mod tests {
         assert_eq!(net.stats().injected_messages, 4);
         assert_eq!(net.stats().delivered_copies, 4);
         assert!(net.stats().avg_latency() > 0.0);
+        // The snapshot carries the fabric's event counters.
+        let stats = net.stats();
+        assert_eq!(stats.fabric, *net.fabric_counters());
+        assert!(stats.fabric.ssr_broadcasts >= 4, "SMART fabric issues SSRs");
+        assert!(stats.fabric.buffer_writes >= 4, "one write per injection");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! descriptors, round-robin arbitration state and link-occupancy tracking.
 
 use crate::message::VirtualNetwork;
+use crate::stats::FabricCounters;
 use crate::topology::{Direction, NodeId};
 use std::collections::VecDeque;
 
@@ -318,9 +319,19 @@ pub trait FabricEngine {
     /// Number of packets currently inside the fabric.
     fn in_flight(&self) -> usize;
 
+    /// The micro-architectural event counters accumulated so far (buffer
+    /// reads/writes, crossbar traversals, link hops, SSR events). These are
+    /// the raw inputs of the event-energy model; engines must only update
+    /// them from `inject`/`tick` (never from `next_event` or other read-only
+    /// probes), which is what keeps them bit-identical between event-driven
+    /// and naive execution.
+    fn counters(&self) -> &FabricCounters;
+
     /// Total number of router-buffer writes so far (a proxy for buffer
     /// energy and for SMART premature stops).
-    fn buffer_writes(&self) -> u64;
+    fn buffer_writes(&self) -> u64 {
+        self.counters().buffer_writes
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use crate::router::{
     dir_link, ActiveSet, Arrival, Buffered, FabricEngine, FlightInfo, InputBuffers, LinkOccupancy,
     RoundRobin,
 };
+use crate::stats::FabricCounters;
 use crate::topology::{Direction, Mesh, NodeId};
 
 const PORTS: usize = 5;
@@ -47,8 +48,7 @@ pub struct SmartFabric {
     arbiters: Vec<RoundRobin>,
     links: LinkOccupancy,
     in_flight: usize,
-    buffer_writes: u64,
-    premature_stops: u64,
+    counters: FabricCounters,
     // Persistent per-tick scratch (the per-cycle tick is the simulator's
     // hottest loop; steady state must not allocate).
     ssr_scratch: Vec<Ssr>,
@@ -80,8 +80,7 @@ impl SmartFabric {
             arbiters: (0..nodes * PORTS).map(|_| RoundRobin::new()).collect(),
             links: LinkOccupancy::new(nodes, PORTS),
             in_flight: 0,
-            buffer_writes: 0,
-            premature_stops: 0,
+            counters: FabricCounters::default(),
             ssr_scratch: Vec::new(),
             claimed_scratch: vec![false; nodes * 4],
             claimed_dirty: Vec::new(),
@@ -95,7 +94,7 @@ impl SmartFabric {
     /// Number of times a flit was stopped before completing its intended
     /// SMART-hop because it lost SSR arbitration to a nearer flit.
     pub fn premature_stops(&self) -> u64 {
-        self.premature_stops
+        self.counters.premature_stops
     }
 
     /// Desired output direction and hop count for `flight` sitting at `at`:
@@ -130,7 +129,7 @@ impl FabricEngine for SmartFabric {
         );
         self.active.set(flight.src.index());
         self.in_flight += 1;
-        self.buffer_writes += 1;
+        self.counters.buffer_writes += 1;
     }
 
     fn tick(&mut self, now: u64, arrivals: &mut Vec<Arrival>) {
@@ -183,6 +182,11 @@ impl FabricEngine for SmartFabric {
                     let head = self.buffers[node.index()]
                         .head(port, vn)
                         .expect("head exists");
+                    // Each granted winner drives its dedicated SSR wires
+                    // `hops` routers far this cycle, whatever phase 2 then
+                    // truncates the traversal to.
+                    self.counters.ssr_broadcasts += 1;
+                    self.counters.ssr_hops += u64::from(hops);
                     ssrs.push(Ssr {
                         flight: head.flight,
                         start: node,
@@ -231,7 +235,7 @@ impl FabricEngine for SmartFabric {
                     // Lost to a nearer flit: stop here.
                     active[i] = false;
                     if travel[i] < ssr.want_hops && travel[i] > 0 {
-                        self.premature_stops += 1;
+                        self.counters.premature_stops += 1;
                     }
                 } else {
                     claimed[idx] = true;
@@ -243,7 +247,7 @@ impl FabricEngine for SmartFabric {
         for (i, ssr) in ssrs.iter().enumerate() {
             if travel[i] > 0 && travel[i] < ssr.want_hops {
                 // Count flits truncated in the final round as premature too.
-                self.premature_stops += u64::from(active[i]);
+                self.counters.premature_stops += u64::from(active[i]);
             }
         }
         for idx in claimed_dirty.drain(..) {
@@ -269,6 +273,15 @@ impl FabricEngine for SmartFabric {
             }
             let mut flight = buffered.flight;
             let flits = flight.flits as u64;
+            // Event accounting: one buffer read at the start router, then
+            // the pre-set path crosses the crossbar of every router it
+            // leaves (start + bypassed intermediates) and `hops` links; only
+            // the stop router latches the flit.
+            self.counters.buffer_reads += 1;
+            self.counters.crossbar_traversals += u64::from(hops);
+            self.counters.link_flit_hops += u64::from(hops) * flits;
+            self.counters.bypass_hops += u64::from(hops) - 1;
+            self.counters.stop_hops += 1;
             for h in 0..hops {
                 let link_node = self.mesh.advance(ssr.start, ssr.dir, h);
                 self.links
@@ -285,7 +298,7 @@ impl FabricEngine for SmartFabric {
                     now: arrival_cycle,
                 });
             } else {
-                self.buffer_writes += 1;
+                self.counters.buffer_writes += 1;
                 self.buffers[stop.index()].push(
                     ssr.dir.opposite().index(),
                     flight.vn,
@@ -336,8 +349,8 @@ impl FabricEngine for SmartFabric {
         self.in_flight
     }
 
-    fn buffer_writes(&self) -> u64 {
-        self.buffer_writes
+    fn counters(&self) -> &FabricCounters {
+        &self.counters
     }
 }
 
@@ -467,6 +480,27 @@ mod tests {
         assert_eq!(arrivals.len(), 1);
         assert_eq!(arrivals[0].flight.stops, 4);
         assert_eq!(fab.next_event(now), None, "drained fabric is quiescent");
+    }
+
+    #[test]
+    fn event_counters_split_bypass_and_stop_hops() {
+        let cfg = NocConfig::smart_mesh(8, 8, 4);
+        let mut fab = SmartFabric::new(cfg);
+        // 4 hops east in one SMART-hop: 3 routers bypassed, 1 latch at the
+        // destination.
+        fab.inject(flight(1, 0, 4, 1), 0);
+        drain(&mut fab, 20);
+        let c = *fab.counters();
+        assert_eq!(c.ssr_broadcasts, 1);
+        assert_eq!(c.ssr_hops, 4);
+        assert_eq!(c.bypass_hops, 3);
+        assert_eq!(c.stop_hops, 1);
+        assert_eq!(c.crossbar_traversals, 4, "every router on the path is crossed");
+        assert_eq!(c.link_flit_hops, 4);
+        assert_eq!(c.buffer_reads, 1);
+        assert_eq!(c.buffer_writes, 1, "injection only; the bypass never latches");
+        assert_eq!(c.premature_stops, 0);
+        assert_eq!(c.express_traversals, 0, "no express links on SMART");
     }
 
     #[test]

@@ -591,7 +591,7 @@ impl CmpSystem {
             l2_mpki: cache.l2_mpki(),
             offchip_accesses: cache.offchip_accesses(),
             instructions: cache.instructions,
-            network: self.network.stats().clone(),
+            network: self.network.stats(),
             cache,
         }
     }

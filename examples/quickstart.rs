@@ -5,7 +5,7 @@
 //! cargo run --release -p loco --example quickstart
 //! ```
 
-use loco::{Benchmark, OrganizationKind, SimulationBuilder};
+use loco::{Benchmark, EnergyParams, OrganizationKind, SimulationBuilder};
 
 fn main() {
     // The paper's full LOCO design (clusters + VMS broadcasts + IVR) on the
@@ -62,5 +62,19 @@ fn main() {
         "network avg latency: {:>10.2} cycles over {} delivered messages",
         loco.network.avg_latency(),
         loco.network.delivered_copies
+    );
+    println!();
+    println!("LOCO network report (SSR diagnostics included)");
+    println!("----------------------------------------------------------");
+    print!("{}", loco.network.report());
+    println!();
+    let energy = EnergyParams::default();
+    let (le, se) = (energy.breakdown(&loco), energy.breakdown(&shared));
+    println!("LOCO event-level energy (vs Shared Cache)");
+    println!("----------------------------------------------------------");
+    print!("{}", le.report());
+    println!(
+        "energy-delay       : {:.3}x the Shared Cache EDP",
+        le.edp_normalized_to(&se)
     );
 }

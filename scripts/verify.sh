@@ -21,12 +21,24 @@ cargo build --workspace --all-targets --offline
 echo "==> equivalence suite (event-driven == naive stepping, bit for bit)"
 cargo test -q --offline --test equivalence
 
+echo "==> energy suite (golden breakdown fingerprint, run/run_naive and thread invariance)"
+cargo test -q --offline --test energy
+
 echo "==> parallel campaign smoke (reproduce: 4-thread output == 1-thread output, byte for byte)"
 cargo build --release --offline -q -p loco-bench --bin reproduce
 ./target/release/reproduce --params quick --threads 4 --json target/campaign_t4.json > target/campaign_t4.txt 2>/dev/null
 ./target/release/reproduce --params quick --threads 1 --json target/campaign_t1.json > target/campaign_t1.txt 2>/dev/null
 cmp target/campaign_t1.txt target/campaign_t4.txt
 cmp target/campaign_t1.json target/campaign_t4.json
+
+echo "==> energy-figure smoke (fig17/fig18 on quick params, 1-vs-4-thread byte identity)"
+./target/release/reproduce --params quick --figures fig17,fig18 --threads 4 --json target/energy_t4.json > target/energy_t4.txt 2>/dev/null
+./target/release/reproduce --params quick --figures fig17,fig18 --threads 1 --json target/energy_t1.json > target/energy_t1.txt 2>/dev/null
+cmp target/energy_t1.txt target/energy_t4.txt
+cmp target/energy_t1.json target/energy_t4.json
+./target/release/reproduce --list-figures > target/figures.txt
+grep -q "^fig17" target/figures.txt || { echo "fig17 missing from --list-figures"; exit 1; }
+grep -q "^fig18" target/figures.txt || { echo "fig18 missing from --list-figures"; exit 1; }
 
 echo "==> bench smoke (--quick campaign, timings to target/)"
 sh scripts/bench.sh --quick --samples 1 --out target/BENCH_smoke.json

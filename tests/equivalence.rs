@@ -7,7 +7,7 @@
 //! per-component invariants).
 
 use loco::{
-    Benchmark, CmpSystem, ClusterShape, OrganizationKind, RouterKind, SimResults,
+    Benchmark, CmpSystem, ClusterShape, EnergyParams, OrganizationKind, RouterKind, SimResults,
     SimulationBuilder, SystemConfig, TraceGenerator,
 };
 
@@ -31,9 +31,28 @@ fn builder(org: OrganizationKind) -> SimulationBuilder {
         .seed(11)
 }
 
-/// Bit-exact comparison: the Debug rendering covers every field of
-/// `SimResults`, including all cache/network counters and float averages.
+/// Bit-exact comparison of the full counter set, not just the latency
+/// results: the structured asserts pin the cache event counters (array
+/// reads/writes, tag probes, directory lookups, IVR, DRAM), the network
+/// delivery stats including the fabric event counters (buffer, crossbar,
+/// link, SSR events), and the integer energy breakdown derived from them.
+/// The Debug rendering then covers every remaining field (float averages,
+/// runtime, completion flags).
 fn assert_identical(label: &str, event: &SimResults, naive: &SimResults) {
+    assert_eq!(
+        event.cache, naive.cache,
+        "{label}: cache event counters diverged"
+    );
+    assert_eq!(
+        event.network, naive.network,
+        "{label}: network stats / fabric event counters diverged"
+    );
+    let params = EnergyParams::default();
+    assert_eq!(
+        params.breakdown(event),
+        params.breakdown(naive),
+        "{label}: energy breakdown diverged"
+    );
     assert_eq!(
         format!("{event:?}"),
         format!("{naive:?}"),
