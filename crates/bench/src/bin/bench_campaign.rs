@@ -1,8 +1,11 @@
 //! Times the quickstart campaign (`lu` on full LOCO and on the shared-cache
-//! baseline) and writes the timings to `BENCH_results.json`, so the
-//! simulator's perf trajectory is tracked across PRs. It also times the
-//! full quick-scale figure campaign (figures 6–18, including the energy
-//! figures, every scenario deduplicated) under the parallel
+//! baseline) plus the stall-heavy stress scenarios (barrier-phased and
+//! DRAM-bound, Figure 19 — the workloads the event-driven scheduler's
+//! fine-grained skip horizon targets) and writes the timings to
+//! `BENCH_results.json`, so the simulator's perf trajectory is tracked
+//! across PRs. It also times the full quick-scale figure campaign (figures
+//! 6–19, including the energy and stress figures, every scenario
+//! deduplicated) under the parallel
 //! `loco::campaign::Executor` at 1/2/4/8
 //! workers — the thread-scaling trajectory of the campaign engine — and
 //! asserts the assembled figures are identical for every worker count.
@@ -29,9 +32,11 @@
 //! `scripts/verify.sh` exercises); the default full scale is the paper's
 //! 64-core CMP, exactly as `examples/quickstart.rs` runs it.
 
-use loco::campaign::{CampaignPlan, Executor};
+use loco::campaign::{stall_stress_system, CampaignPlan, Executor};
 use loco::json::{parse, Value};
-use loco::{Benchmark, ExperimentParams, Figure, OrganizationKind, SimulationBuilder};
+use loco::{
+    Benchmark, ExperimentParams, Figure, OrganizationKind, RouterKind, SimulationBuilder, StressKind,
+};
 use loco_bench::timing::Summary;
 use loco_bench::{figure_specs, Scale, FIGURE_NUMBERS};
 use std::time::{Duration, Instant};
@@ -131,7 +136,7 @@ fn summary_json(s: &Summary) -> Value {
     ])
 }
 
-/// Times the quick-scale figure campaign (figures 6–16) at 1/2/4/8 executor
+/// Times the quick-scale figure campaign (figures 6–19) at 1/2/4/8 executor
 /// workers, asserting the assembled figures are identical for every worker
 /// count, and returns the JSON record for `BENCH_results.json`.
 fn time_campaign_scaling(samples: usize) -> Value {
@@ -174,7 +179,7 @@ fn time_campaign_scaling(samples: usize) -> Value {
         }
         let summary = Summary::from_samples(&durations).expect("samples > 0");
         println!(
-            "campaign quick/fig06-18  {threads} worker(s): {:>10.1?} (median, {} scenarios)",
+            "campaign quick/fig06-19  {threads} worker(s): {:>10.1?} (median, {} scenarios)",
             summary.median,
             plan.len()
         );
@@ -198,12 +203,74 @@ fn time_campaign_scaling(samples: usize) -> Value {
          ({hardware} hardware thread(s) available)"
     );
     Value::Object(vec![
-        ("campaign".into(), Value::String("quick figures 6-18 (plan/execute/assemble)".into())),
+        ("campaign".into(), Value::String("quick figures 6-19 (plan/execute/assemble)".into())),
         ("scenarios".into(), Value::Number(plan.len() as f64)),
         ("hardware_threads".into(), Value::Number(hardware as f64)),
         ("rows".into(), Value::Array(rows)),
         ("speedup_4_threads".into(), Value::Number(speedup_4t)),
     ])
+}
+
+/// Times the stall-heavy stress scenarios (the Figure-19 configurations) in
+/// both execution modes. These runs spend most of their cycles in globally
+/// quiet phases with stragglers still inside the NoC — the phases the
+/// fine-grained skip horizon (PR 5) opened — so the event-driven/naive gap
+/// here is the scheduler's headline on its target workloads.
+fn time_stall_scenarios(samples: usize, quick: bool) -> Value {
+    let params = if quick {
+        ExperimentParams::quick()
+    } else {
+        // The stress mesh is fixed at 4x4 by the scenario; the paper-scale
+        // entry only lengthens the traces.
+        ExperimentParams::quick().with_mem_ops(2_000)
+    };
+    let max_cycles = 50_000_000;
+    let mut rows = Vec::new();
+    for kind in StressKind::ALL {
+        let build = || stall_stress_system(&params, kind, RouterKind::Smart);
+        // Untimed warm-up doubles as the determinism + equivalence oracle.
+        let mut oracle = build();
+        let reference = format!("{:?}", oracle.run(max_cycles));
+        let skipped_busy = oracle.skipped_while_busy();
+        assert_eq!(
+            reference,
+            format!("{:?}", build().run_naive(max_cycles)),
+            "{kind:?}: event-driven run diverged from naive stepping"
+        );
+        let timed = |run: &dyn Fn(&mut loco::CmpSystem) -> loco::SimResults| -> Summary {
+            let mut durations = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let mut sys = build();
+                let start = Instant::now();
+                let results = run(&mut sys);
+                durations.push(start.elapsed());
+                assert_eq!(format!("{results:?}"), reference, "nondeterministic results");
+            }
+            Summary::from_samples(&durations).expect("samples > 0")
+        };
+        let es = timed(&|s| s.run(max_cycles));
+        let ns = timed(&|s| s.run_naive(max_cycles));
+        let speedup = ns.median.as_secs_f64() / es.median.as_secs_f64().max(1e-9);
+        println!(
+            "stress/{:<15} event-driven {:>10.1?} (median)  naive-stepping {:>10.1?} (median)  \
+             {speedup:.2}x  ({skipped_busy} cycles skipped with packets in flight)",
+            kind.name(),
+            es.median,
+            ns.median
+        );
+        rows.push(Value::Object(vec![
+            ("scenario".into(), Value::String(format!("stress-{}", kind.name()))),
+            ("event_driven".into(), summary_json(&es)),
+            ("naive_stepping".into(), summary_json(&ns)),
+            ("speedup_event_vs_naive".into(), Value::Number(speedup)),
+            (
+                "skipped_while_busy_cycles".into(),
+                Value::Number(skipped_busy as f64),
+            ),
+            ("results_identical".into(), Value::Bool(true)),
+        ]));
+    }
+    Value::Array(rows)
 }
 
 /// The baseline to compare against: explicit flag, else the previous
@@ -280,6 +347,7 @@ fn main() {
         println!("campaign total           event-driven {event_total:>10.1?} (no baseline on record)");
     }
 
+    let stall_scenarios = time_stall_scenarios(args.samples, args.quick);
     let campaign_scaling = time_campaign_scaling(args.samples);
 
     let doc = Value::Object(vec![
@@ -296,6 +364,7 @@ fn main() {
         ("baseline".into(), baseline_value),
         ("runs".into(), Value::Array(runs)),
         ("total".into(), Value::Object(total_fields)),
+        ("stall_scenarios".into(), stall_scenarios),
         ("campaign_scaling".into(), campaign_scaling),
     ]);
     std::fs::write(&args.out, doc.to_pretty() + "\n").expect("write BENCH results");

@@ -13,12 +13,16 @@
 //! * `--params` — the experiment scale (default `paper64`; the original
 //!   `--scale quick|64|256` spelling is still accepted).
 //! * `--figures` — comma-separated figure list, `figNN` or bare numbers
-//!   (default: all of 6–18; 17 and 18 are the energy figures).
+//!   (default: all of 6–19; 17 and 18 are the energy figures, 19 the
+//!   stall-heavy stress sweep).
 //! * `--list-figures` — print every known figure id and title, then exit.
 //! * `--threads` — worker count for the execute phase (default: all cores).
-//!   Figures are **byte-identical for any thread count**: planning fixes
-//!   the scenario order, every scenario is an independent deterministic
-//!   simulation, and results are merged in plan order.
+//!   Values that parse but make no sense (above
+//!   `loco::campaign::MAX_EXPLICIT_THREADS`) are rejected with an error
+//!   instead of silently spawning thousands of idle workers. Figures are
+//!   **byte-identical for any thread count**: planning fixes the scenario
+//!   order, every scenario is an independent deterministic simulation, and
+//!   results are merged in plan order.
 //! * `--json PATH` — additionally writes one JSON document containing every
 //!   assembled figure.
 //! * `--markdown PATH` — additionally writes a markdown report (this is how
@@ -133,9 +137,15 @@ fn parse_args() -> Options {
             }
             "--threads" => {
                 let v = value(&arg, &mut it);
-                opts.threads = v
+                let n: usize = v
                     .parse()
                     .unwrap_or_else(|_| bad("--threads takes a number (0 = all cores)"));
+                // Validate here (not at executor construction) so the error
+                // points at the flag before any planning work happens.
+                if let Err(e) = Executor::try_new(n) {
+                    bad(&format!("--threads {v}: {e}"));
+                }
+                opts.threads = n;
             }
             "--mem-ops" => {
                 let v = value(&arg, &mut it);

@@ -108,8 +108,9 @@ pub fn workloads_for(scale: Scale) -> Vec<usize> {
 
 /// The range of figure numbers the harness knows: 6–16 mirror the paper's
 /// evaluation, 17 (energy breakdown) and 18 (energy-delay product) are the
-/// energy figures this reproduction adds.
-pub const FIGURE_NUMBERS: std::ops::RangeInclusive<u32> = 6..=18;
+/// energy figures this reproduction adds, and 19 is the stall-heavy stress
+/// sweep (barrier-phased / DRAM-bound workloads under the three NoCs).
+pub const FIGURE_NUMBERS: std::ops::RangeInclusive<u32> = 6..=19;
 
 /// Builds the `FigureSpec` for one figure number (see [`FIGURE_NUMBERS`])
 /// at this scale, optionally overriding the benchmark x-axis (`None` uses
@@ -144,6 +145,7 @@ pub fn figure_spec(scale: Scale, number: u32, benchmarks: Option<&[Benchmark]>) 
             benchmarks: b(),
             shapes: cluster_shapes_for(scale),
         },
+        19 => FigureSpec::Fig19Stall,
         _ => return None,
     })
 }
@@ -175,13 +177,13 @@ mod tests {
     fn figure_specs_cover_the_whole_evaluation() {
         let all: Vec<u32> = FIGURE_NUMBERS.collect();
         let specs = figure_specs(Scale::Quick, &all, None);
-        assert_eq!(specs.len(), 13);
+        assert_eq!(specs.len(), 14);
         for (spec, number) in specs.iter().zip(FIGURE_NUMBERS) {
             assert_eq!(spec.number(), number);
             assert!(!spec.title().is_empty());
         }
         assert!(figure_spec(Scale::Quick, 5, None).is_none());
-        assert!(figure_spec(Scale::Quick, 19, None).is_none());
+        assert!(figure_spec(Scale::Quick, 20, None).is_none());
     }
 
     #[test]

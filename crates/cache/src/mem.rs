@@ -51,6 +51,10 @@ pub struct MemoryController {
     cfg: MemoryConfig,
     next_free: u64,
     pending: Vec<PendingRead>,
+    /// Cached `min(fire_at)` over `pending` (`u64::MAX` when empty), kept
+    /// up to date by `handle`/`tick` so the event-driven scheduler's
+    /// per-step horizon probe is O(1) instead of an O(pending) scan.
+    next_fire: u64,
     stats: CacheStats,
 }
 
@@ -62,6 +66,7 @@ impl MemoryController {
             cfg,
             next_free: 0,
             pending: Vec::new(),
+            next_fire: u64::MAX,
             stats: CacheStats::default(),
         }
     }
@@ -86,9 +91,16 @@ impl MemoryController {
     /// simulation uses this to skip the dead cycles of the 200-cycle DRAM
     /// latency; the caller must step the controller at exactly this cycle,
     /// because that is when the naive per-cycle loop would have released the
-    /// response.
+    /// response. O(1): the scheduler probes this every stalled step, so the
+    /// minimum is maintained incrementally by `handle`/`tick` instead of
+    /// being rescanned here.
     pub fn next_event(&self) -> Option<u64> {
-        self.pending.iter().map(|p| p.fire_at).min()
+        debug_assert_eq!(
+            self.next_fire,
+            self.pending.iter().map(|p| p.fire_at).min().unwrap_or(u64::MAX),
+            "cached next_fire out of sync with the pending list"
+        );
+        (self.next_fire != u64::MAX).then_some(self.next_fire)
     }
 
     /// Handles a protocol message addressed to this memory controller.
@@ -97,11 +109,13 @@ impl MemoryController {
             MsgKind::MemRead => {
                 let start = now.max(self.next_free);
                 self.next_free = start + self.cfg.min_gap;
+                let fire_at = start + self.cfg.latency;
+                self.next_fire = self.next_fire.min(fire_at);
                 self.pending.push(PendingRead {
                     addr: msg.addr,
                     requester_l2: msg.src.node,
                     original: msg,
-                    fire_at: start + self.cfg.latency,
+                    fire_at,
                 });
             }
             MsgKind::MemCancel => {
@@ -111,7 +125,13 @@ impl MemoryController {
                     .iter()
                     .position(|p| p.addr == msg.addr && p.requester_l2 == msg.src.node)
                 {
-                    self.pending.swap_remove(i);
+                    let removed = self.pending.swap_remove(i);
+                    // Rare path: only rescan if the cancelled fetch could
+                    // have been the cached minimum.
+                    if removed.fire_at == self.next_fire {
+                        self.next_fire =
+                            self.pending.iter().map(|p| p.fire_at).min().unwrap_or(u64::MAX);
+                    }
                 }
             }
             MsgKind::MemWb => {
@@ -127,10 +147,12 @@ impl MemoryController {
     /// Releases DRAM responses whose latency has elapsed. The simulator
     /// calls this once per cycle.
     pub fn tick(&mut self, now: u64, out: &mut Vec<Outgoing>) {
-        if self.pending.is_empty() {
+        // O(1) early-out on the cached minimum: nothing fires this cycle.
+        if self.next_fire > now {
             return;
         }
         let mut i = 0;
+        let mut remaining_min = u64::MAX;
         while i < self.pending.len() {
             if self.pending[i].fire_at <= now {
                 let p = self.pending.swap_remove(i);
@@ -145,9 +167,13 @@ impl MemoryController {
                     ),
                 ));
             } else {
+                remaining_min = remaining_min.min(self.pending[i].fire_at);
                 i += 1;
             }
         }
+        // The release scan visited every survivor, so the new minimum comes
+        // for free.
+        self.next_fire = remaining_min;
     }
 }
 

@@ -41,8 +41,8 @@ use crate::report::{Figure, Series};
 use loco_cache::{ClusterShape, OrganizationKind};
 use loco_energy::{EnergyBreakdown, EnergyParams};
 use loco_noc::{FxHashMap, FxHashSet, RouterKind};
-use loco_sim::{CmpSystem, SimResults};
-use loco_workloads::{Benchmark, MultiProgramWorkload, TraceGenerator};
+use loco_sim::{CmpSystem, SimResults, SystemConfig};
+use loco_workloads::{Benchmark, MultiProgramWorkload, StressKind, TraceGenerator};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -88,6 +88,21 @@ pub enum Scenario {
         /// The cache organization.
         org: OrganizationKind,
     },
+    /// A stall-heavy stress run (Figure 19): a small 4x4 mesh under full
+    /// LOCO (CC+VMS), either barrier-phased (full-system replay, a barrier
+    /// every few memory ops) or DRAM-bound (huge working set, the DRAM
+    /// latency stretched to 800 cycles). These are ROADMAP's named blind
+    /// spot — workloads whose run time is dominated by globally-quiet
+    /// phases with stragglers still in the NoC, where the event-driven
+    /// scheduler's fine-grained horizon pays off. The mesh and memory
+    /// timing are fixed by the scenario (not by [`ExperimentParams`]) so
+    /// the stress stays stall-shaped at every campaign scale.
+    StallStress {
+        /// Barrier-phased or DRAM-bound.
+        kind: StressKind,
+        /// The NoC router micro-architecture.
+        router: RouterKind,
+    },
 }
 
 impl Scenario {
@@ -128,6 +143,9 @@ impl Scenario {
             Scenario::MultiProgram { workload, org } => {
                 format!("W{}/{}", workload, org.label())
             }
+            Scenario::StallStress { kind, router } => {
+                format!("stress-{}/{}", kind.name(), router.label())
+            }
         }
     }
 }
@@ -156,7 +174,48 @@ pub fn run_scenario(params: &ExperimentParams, scenario: Scenario) -> SimResults
         Scenario::MultiProgram { workload, org } => {
             run_multiprogram_workload(params, &MultiProgramWorkload::table2_entry(workload), org)
         }
+        Scenario::StallStress { kind, router } => run_stall_stress(params, kind, router),
     }
+}
+
+/// Builds (without running) the system of one stall-heavy stress scenario:
+/// a fixed 16-core (4x4) mesh with 2x2 LOCO clusters under CC+VMS, working
+/// set and caches scaled together exactly as trace scenarios are.
+/// DRAM-bound runs stretch the memory latency to 800 cycles (min gap 8) so
+/// nearly the whole run is exposed off-chip stall; barrier-phased runs
+/// enable the full-system replay mode. Exposed so the bench harness and the
+/// equivalence suite can drive the exact campaign configuration manually
+/// (e.g. to read the scheduler's skip diagnostics or to time `run` against
+/// `run_naive`).
+pub fn stall_stress_system(
+    params: &ExperimentParams,
+    kind: StressKind,
+    router: RouterKind,
+) -> CmpSystem {
+    let scale = params.working_set_scale.max(1);
+    let spec = kind.spec().scaled_down(scale);
+    let full_system = kind.full_system();
+    let mut cfg = SystemConfig::asplos_64(OrganizationKind::LocoCcVms)
+        .with_router(router)
+        .with_cluster(ClusterShape::new(2, 2))
+        .with_full_system(full_system);
+    cfg.mesh_width = 4;
+    cfg.mesh_height = 4;
+    cfg.l1.size_bytes = (cfg.l1.size_bytes / scale).max(1024);
+    cfg.l2.geometry.size_bytes = (cfg.l2.geometry.size_bytes / scale).max(2048);
+    if kind == StressKind::DramBound {
+        cfg.mem.latency = 800;
+        cfg.mem.min_gap = 8;
+    }
+    let traces = TraceGenerator::new(params.seed)
+        .with_barriers(full_system)
+        .generate(&spec, cfg.num_cores(), params.mem_ops_per_core);
+    CmpSystem::new(cfg, traces)
+}
+
+/// Runs one stall-heavy stress scenario (see [`stall_stress_system`]).
+pub fn run_stall_stress(params: &ExperimentParams, kind: StressKind, router: RouterKind) -> SimResults {
+    stall_stress_system(params, kind, router).run(params.max_cycles)
 }
 
 /// Runs one multi-program workload under one organization. The cluster size
@@ -327,6 +386,13 @@ pub struct Executor {
     threads: usize,
 }
 
+/// Largest explicit worker count [`Executor::try_new`] accepts. Worker
+/// threads beyond the scenario count never run anything, and a parse-able
+/// but senseless `--threads` value (say, millions) would otherwise silently
+/// degrade into thousands of idle OS threads; front-ends should reject it
+/// loudly instead (the `reproduce` CLI does).
+pub const MAX_EXPLICIT_THREADS: usize = 1024;
+
 impl Executor {
     /// An executor with an explicit worker count (`0` means "all cores",
     /// i.e. `std::thread::available_parallelism`).
@@ -337,6 +403,24 @@ impl Executor {
             threads
         };
         Executor { threads }
+    }
+
+    /// Like [`Executor::new`], but rejects worker counts that parse yet make
+    /// no sense (anything above [`MAX_EXPLICIT_THREADS`]) instead of
+    /// silently spawning that many OS threads. `0` still means "all cores".
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending value and the
+    /// accepted range.
+    pub fn try_new(threads: usize) -> Result<Self, String> {
+        if threads > MAX_EXPLICIT_THREADS {
+            return Err(format!(
+                "{threads} worker threads makes no sense (accepted: 0 for all \
+                 cores, or 1..={MAX_EXPLICIT_THREADS})"
+            ));
+        }
+        Ok(Self::new(threads))
     }
 
     /// An executor using every available core.
@@ -477,6 +561,13 @@ pub enum FigureSpec {
         /// The cluster shapes to sweep.
         shapes: Vec<ClusterShape>,
     },
+    /// Figure 19 (reproduction extra): runtime of the stall-heavy stress
+    /// workloads ([`Scenario::StallStress`]: barrier-phased, DRAM-bound)
+    /// under the three NoCs, normalized per workload to the SMART NoC.
+    /// These scenarios open ROADMAP's named blind spot — small meshes with
+    /// long global stalls — and double as the campaign-level exercise of
+    /// the event-driven scheduler's fine-grained skip horizon.
+    Fig19Stall,
 }
 
 /// The three router kinds of the NoC-comparison figures, in paper order.
@@ -508,6 +599,7 @@ impl FigureSpec {
             FigureSpec::Fig16 { .. } => "fig16",
             FigureSpec::Fig17Energy { .. } => "fig17",
             FigureSpec::Fig18Edp { .. } => "fig18",
+            FigureSpec::Fig19Stall => "fig19",
         }
     }
 
@@ -528,6 +620,7 @@ impl FigureSpec {
             FigureSpec::Fig16 { .. } => 16,
             FigureSpec::Fig17Energy { .. } => 17,
             FigureSpec::Fig18Edp { .. } => 18,
+            FigureSpec::Fig19Stall => 19,
         }
     }
 
@@ -550,6 +643,7 @@ impl FigureSpec {
                 "Energy per instruction and breakdown by cache organization"
             }
             FigureSpec::Fig18Edp { .. } => "Energy-delay product by cluster size",
+            FigureSpec::Fig19Stall => "Stall-heavy stress workloads (barrier/DRAM-bound) under alternative NoCs",
         }
     }
 
@@ -693,6 +787,13 @@ impl FigureSpec {
                             cluster: shape,
                             full_system: false,
                         });
+                    }
+                }
+            }
+            FigureSpec::Fig19Stall => {
+                for kind in StressKind::ALL {
+                    for router in NOC_SWEEP {
+                        out.push(Scenario::StallStress { kind, router });
                     }
                 }
             }
@@ -1125,6 +1226,28 @@ impl FigureSpec {
                 fig.push_average_column();
                 vec![fig]
             }
+            FigureSpec::Fig19Stall => {
+                let mut fig = Figure::new(
+                    "fig19",
+                    "Stall-heavy stress workloads under alternative NoCs",
+                    "runtime normalized to SMART NoC",
+                );
+                fig.x_labels = StressKind::ALL.iter().map(|k| k.name().to_string()).collect();
+                for router in NOC_SWEEP {
+                    let mut v = Vec::new();
+                    for kind in StressKind::ALL {
+                        let smart = results.expect(&Scenario::StallStress {
+                            kind,
+                            router: RouterKind::Smart,
+                        });
+                        let r = results.expect(&Scenario::StallStress { kind, router });
+                        v.push(r.runtime_normalized_to(smart));
+                    }
+                    fig.push_series(Series::new(format!("LOCO + {}", router.label()), v));
+                }
+                fig.push_average_column();
+                vec![fig]
+            }
         }
     }
 }
@@ -1274,6 +1397,61 @@ mod tests {
         let v = figs[0].series[0].values[0];
         assert!(v > 0.0 && v.is_finite());
     }
+
+    #[test]
+    fn stall_stress_figure_sweeps_kinds_by_router() {
+        let params = quick();
+        let spec = FigureSpec::Fig19Stall;
+        let mut plan = CampaignPlan::new();
+        plan.add_figure(&spec, &params);
+        assert_eq!(plan.len(), 6, "2 stress kinds x 3 routers");
+        let results = Executor::new(2).execute(&params, &plan);
+        let figs = spec.assemble(&params, &results);
+        assert_eq!(figs.len(), 1);
+        assert_eq!(figs[0].series.len(), 3, "one series per router");
+        // SMART is the normalization baseline, so its series is exactly 1.
+        let smart = &figs[0].series[0];
+        assert!(smart.label.contains("SMART"), "{}", smart.label);
+        for v in &smart.values {
+            assert!((v - 1.0).abs() < 1e-12, "SMART must normalize to 1, got {v}");
+        }
+        for s in &figs[0].series {
+            for v in &s.values {
+                assert!(*v > 0.0 && v.is_finite(), "{}: {v}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn stall_stress_scenarios_are_stall_shaped() {
+        let params = quick();
+        // DRAM-bound: nearly every access goes off-chip, and the stretched
+        // latency dominates the runtime.
+        let dram = run_stall_stress(&params, StressKind::DramBound, RouterKind::Smart);
+        assert!(dram.completed);
+        assert!(
+            dram.offchip_accesses * 2 > dram.cache.l2_misses,
+            "DRAM-bound must miss past the L2 ({} offchip of {} L2 misses)",
+            dram.offchip_accesses,
+            dram.cache.l2_misses
+        );
+        assert!(
+            dram.avg_miss_latency > 800.0,
+            "the stretched DRAM latency must dominate misses (got {:.0})",
+            dram.avg_miss_latency
+        );
+        // Barrier-phased: the barriers must actually fire.
+        let barrier = run_stall_stress(&params, StressKind::BarrierPhased, RouterKind::Smart);
+        assert!(barrier.completed);
+        assert!(
+            barrier.cache.instructions > 0 && barrier.runtime_cycles > 0,
+            "barrier-phased run must make progress"
+        );
+    }
+
+    // `Executor::try_new`'s rejection contract is covered by
+    // `tests/campaign.rs::senseless_thread_counts_are_rejected_with_a_clear_error`
+    // (through the public re-export the CLI actually uses).
 
     #[test]
     fn every_figure_has_an_id_number_and_title() {

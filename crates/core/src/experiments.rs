@@ -364,6 +364,15 @@ impl Runner {
             shapes: shapes.to_vec(),
         })
     }
+
+    // ------------------------------------------------- Figure 19 (stress)
+
+    /// Figure 19: runtime of the stall-heavy stress workloads
+    /// (barrier-phased, DRAM-bound) under the three NoCs, normalized to the
+    /// SMART NoC.
+    pub fn fig19_stall(&mut self) -> Figure {
+        self.single(FigureSpec::Fig19Stall)
+    }
 }
 
 #[cfg(test)]

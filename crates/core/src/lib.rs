@@ -61,10 +61,13 @@ pub use loco_cache::{
 pub use loco_energy::{CacheEnergy, EnergyBreakdown, EnergyParams, NetworkEnergy};
 pub use loco_noc::{
     FabricCounters, FxBuildHasher, FxHashMap, FxHashSet, Mesh, NetworkStats, NocConfig, NodeId,
-    RouterKind, VirtualMesh,
+    RouterKind, SplitMix64, VirtualMesh,
 };
 pub use loco_sim::{CmpSystem, SimResults, SystemConfig};
-pub use loco_workloads::{Benchmark, BenchmarkSpec, MultiProgramWorkload, TraceGenerator};
+pub use loco_workloads::{
+    Benchmark, BenchmarkSpec, CoreTrace, MultiProgramWorkload, SharingPattern, StressKind,
+    TraceGenerator,
+};
 
 /// A fluent facade for configuring and running one simulation.
 ///

@@ -32,6 +32,33 @@ use loco_cache::CacheStats;
 use loco_noc::{FabricCounters, NetworkStats};
 use loco_sim::SimResults;
 
+/// `cost * events` with a loud panic on u64 overflow. The breakdown is an
+/// integer contract — a silent wrap would corrupt every downstream figure
+/// bit-for-bit *reproducibly*, which no test comparing two equally-wrapped
+/// runs can catch — so paper256-scale counter values that exceed ~1.8e19 fJ
+/// must abort instead. (Headroom check: the costliest event, a 26 nJ DRAM
+/// access, leaves room for ~7e11 accesses — far beyond any simulated run —
+/// but a caller-supplied `EnergyParams` can shrink that margin arbitrarily.)
+#[inline]
+fn mul_fj(cost: u64, events: u64, what: &str) -> u64 {
+    cost.checked_mul(events).unwrap_or_else(|| {
+        panic!("energy accumulation overflowed u64 fJ: {what} = {cost} fJ x {events} events")
+    })
+}
+
+/// Checked fJ addition (see [`mul_fj`]); `what` names the sum being folded.
+#[inline]
+fn add_fj(a: u64, b: u64, what: &str) -> u64 {
+    a.checked_add(b)
+        .unwrap_or_else(|| panic!("energy accumulation overflowed u64 fJ while summing {what}"))
+}
+
+/// Checked fold of a list of fJ terms.
+#[inline]
+fn sum_fj(terms: &[u64], what: &str) -> u64 {
+    terms.iter().fold(0u64, |acc, &t| add_fj(acc, t, what))
+}
+
 /// Per-event energy costs in femtojoules (fJ). All fields are public and
 /// overridable; [`EnergyParams::default`] is calibrated to a 1 GHz, 45
 /// nm-class process (128-bit flits, 32 B lines — the scale of the paper's
@@ -109,13 +136,23 @@ impl Default for EnergyParams {
 impl EnergyParams {
     /// Folds the event counters of one completed run into an
     /// [`EnergyBreakdown`]. Pure integer arithmetic over the counters — the
-    /// same results always produce the same breakdown, bit for bit.
+    /// same results always produce the same breakdown, bit for bit. Every
+    /// multiply and fold is overflow-checked: a counter set large enough to
+    /// wrap u64 femtojoules panics loudly instead of silently corrupting
+    /// the figures (see [`mul_fj`]).
     pub fn breakdown(&self, results: &SimResults) -> EnergyBreakdown {
         EnergyBreakdown {
             network: self.network_energy(&results.network),
             cache: self.cache_energy(&results.cache),
-            dram_fj: self.dram_access_fj
-                * (results.cache.offchip_fetches + results.cache.offchip_writebacks),
+            dram_fj: mul_fj(
+                self.dram_access_fj,
+                add_fj(
+                    results.cache.offchip_fetches,
+                    results.cache.offchip_writebacks,
+                    "off-chip accesses",
+                ),
+                "dram_access",
+            ),
             instructions: results.instructions,
             runtime_cycles: results.runtime_cycles,
         }
@@ -126,12 +163,20 @@ impl EnergyParams {
     pub fn network_energy(&self, network: &NetworkStats) -> NetworkEnergy {
         let f: &FabricCounters = &network.fabric;
         NetworkEnergy {
-            buffer_fj: self.buffer_write_fj * f.buffer_writes + self.buffer_read_fj * f.buffer_reads,
-            crossbar_fj: self.crossbar_fj * f.crossbar_traversals,
-            link_fj: self.link_flit_hop_fj * f.link_flit_hops,
-            ssr_fj: self.ssr_setup_fj * f.ssr_broadcasts + self.ssr_hop_fj * f.ssr_hops,
-            pipeline_fj: self.pipeline_pass_fj * f.pipeline_passes,
-            multicast_fj: self.multicast_fork_fj * network.multicast_forks,
+            buffer_fj: add_fj(
+                mul_fj(self.buffer_write_fj, f.buffer_writes, "buffer_write"),
+                mul_fj(self.buffer_read_fj, f.buffer_reads, "buffer_read"),
+                "buffer energy",
+            ),
+            crossbar_fj: mul_fj(self.crossbar_fj, f.crossbar_traversals, "crossbar"),
+            link_fj: mul_fj(self.link_flit_hop_fj, f.link_flit_hops, "link_flit_hop"),
+            ssr_fj: add_fj(
+                mul_fj(self.ssr_setup_fj, f.ssr_broadcasts, "ssr_setup"),
+                mul_fj(self.ssr_hop_fj, f.ssr_hops, "ssr_hop"),
+                "SSR energy",
+            ),
+            pipeline_fj: mul_fj(self.pipeline_pass_fj, f.pipeline_passes, "pipeline_pass"),
+            multicast_fj: mul_fj(self.multicast_fork_fj, network.multicast_forks, "multicast_fork"),
         }
     }
 
@@ -139,15 +184,25 @@ impl EnergyParams {
     /// VMS and IVR bookkeeping — DRAM is separate).
     pub fn cache_energy(&self, cache: &CacheStats) -> CacheEnergy {
         CacheEnergy {
-            l1_fj: self.l1_tag_fj * cache.l1_tag_probes
-                + self.l1_read_fj * cache.l1_data_reads
-                + self.l1_write_fj * cache.l1_data_writes,
-            l2_fj: self.l2_tag_fj * cache.l2_tag_probes
-                + self.l2_read_fj * cache.l2_data_reads
-                + self.l2_write_fj * cache.l2_data_writes,
-            directory_fj: self.dir_lookup_fj * cache.dir_lookups,
-            vms_fj: self.vms_search_fj * cache.broadcasts,
-            ivr_fj: self.ivr_event_fj * cache.ivr_migrations,
+            l1_fj: sum_fj(
+                &[
+                    mul_fj(self.l1_tag_fj, cache.l1_tag_probes, "l1_tag"),
+                    mul_fj(self.l1_read_fj, cache.l1_data_reads, "l1_read"),
+                    mul_fj(self.l1_write_fj, cache.l1_data_writes, "l1_write"),
+                ],
+                "L1 energy",
+            ),
+            l2_fj: sum_fj(
+                &[
+                    mul_fj(self.l2_tag_fj, cache.l2_tag_probes, "l2_tag"),
+                    mul_fj(self.l2_read_fj, cache.l2_data_reads, "l2_read"),
+                    mul_fj(self.l2_write_fj, cache.l2_data_writes, "l2_write"),
+                ],
+                "L2 energy",
+            ),
+            directory_fj: mul_fj(self.dir_lookup_fj, cache.dir_lookups, "dir_lookup"),
+            vms_fj: mul_fj(self.vms_search_fj, cache.broadcasts, "vms_search"),
+            ivr_fj: mul_fj(self.ivr_event_fj, cache.ivr_migrations, "ivr_event"),
         }
     }
 }
@@ -171,14 +226,19 @@ pub struct NetworkEnergy {
 }
 
 impl NetworkEnergy {
-    /// Total NoC energy in femtojoules.
+    /// Total NoC energy in femtojoules (overflow-checked).
     pub fn total_fj(&self) -> u64 {
-        self.buffer_fj
-            + self.crossbar_fj
-            + self.link_fj
-            + self.ssr_fj
-            + self.pipeline_fj
-            + self.multicast_fj
+        sum_fj(
+            &[
+                self.buffer_fj,
+                self.crossbar_fj,
+                self.link_fj,
+                self.ssr_fj,
+                self.pipeline_fj,
+                self.multicast_fj,
+            ],
+            "NoC total",
+        )
     }
 }
 
@@ -199,9 +259,12 @@ pub struct CacheEnergy {
 }
 
 impl CacheEnergy {
-    /// Total cache-hierarchy energy in femtojoules.
+    /// Total cache-hierarchy energy in femtojoules (overflow-checked).
     pub fn total_fj(&self) -> u64 {
-        self.l1_fj + self.l2_fj + self.directory_fj + self.vms_fj + self.ivr_fj
+        sum_fj(
+            &[self.l1_fj, self.l2_fj, self.directory_fj, self.vms_fj, self.ivr_fj],
+            "cache total",
+        )
     }
 }
 
@@ -225,9 +288,14 @@ pub struct EnergyBreakdown {
 }
 
 impl EnergyBreakdown {
-    /// Total energy in femtojoules.
+    /// Total energy in femtojoules (overflow-checked, like every fold in
+    /// this crate: wrap-around would corrupt figures silently and
+    /// reproducibly, so it aborts instead).
     pub fn total_fj(&self) -> u64 {
-        self.network.total_fj() + self.cache.total_fj() + self.dram_fj
+        sum_fj(
+            &[self.network.total_fj(), self.cache.total_fj(), self.dram_fj],
+            "system total",
+        )
     }
 
     /// Energy per instruction in femtojoules (0 when no instruction
@@ -379,6 +447,43 @@ mod tests {
         b.runtime_cycles = 20;
         assert!((b.edp_normalized_to(&a) - 4.0).abs() < 1e-12);
         assert!((a.edp_normalized_to(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_values_at_the_overflow_boundary_still_fold() {
+        // The largest event count the default DRAM cost can absorb without
+        // wrapping u64 fJ: the fold must succeed exactly at the boundary...
+        let p = EnergyParams::default();
+        let max_accesses = u64::MAX / p.dram_access_fj;
+        let mut results = SimResults::default();
+        results.cache.offchip_fetches = max_accesses;
+        let b = p.breakdown(&results);
+        assert_eq!(b.dram_fj, p.dram_access_fj * max_accesses);
+        // ...even when the total is taken (the other subsystems are zero
+        // here, so the checked sum still fits).
+        assert_eq!(b.total_fj(), b.dram_fj);
+    }
+
+    #[test]
+    #[should_panic(expected = "energy accumulation overflowed u64 fJ")]
+    fn paper256_scale_overflow_panics_instead_of_wrapping() {
+        // One access past the boundary must abort loudly: a silent wrap
+        // would make fig17/fig18 wrong bit-for-bit reproducibly, which no
+        // run-vs-run comparison can catch.
+        let p = EnergyParams::default();
+        let mut results = SimResults::default();
+        results.cache.offchip_fetches = u64::MAX / p.dram_access_fj + 1;
+        let _ = p.breakdown(&results);
+    }
+
+    #[test]
+    #[should_panic(expected = "energy accumulation overflowed u64 fJ")]
+    fn overflowing_totals_panic_instead_of_wrapping() {
+        // Two subsystem totals that individually fit but jointly wrap.
+        let mut b = EnergyBreakdown::default();
+        b.dram_fj = u64::MAX - 5;
+        b.cache.l1_fj = 10;
+        let _ = b.total_fj();
     }
 
     #[test]

@@ -391,6 +391,42 @@ mod tests {
     }
 
     #[test]
+    fn next_event_opens_a_skip_window_under_partial_occupancy() {
+        // A packet that lands at an intermediate stop sits out the 4-stage
+        // pipeline before it can be switched again: the fabric holds it the
+        // whole time, yet the probe must name that future ready cycle so the
+        // scheduler can skip the pipeline wait (the old drain-only probe
+        // stepped through it cycle by cycle).
+        let cfg = NocConfig::highradix_mesh(16, 1, 4);
+        let mut fab = HighRadixFabric::new(cfg);
+        // 15 hops east: 4 express hops with 3 intermediate stops.
+        fab.inject(flight(1, 0, 15, 1), 0);
+        let mut arrivals = Vec::new();
+        fab.tick(0, &mut arrivals);
+        fab.tick(1, &mut arrivals); // first express hop launches
+        assert_eq!(fab.in_flight(), 1, "packet still inside the fabric");
+        let e = fab.next_event(2).expect("packet in flight");
+        assert!(
+            e > 2,
+            "the pipeline wait at the landing router must be skippable, got {e}"
+        );
+        let before = *fab.counters();
+        for t in 2..e {
+            fab.tick(t, &mut arrivals);
+            assert!(arrivals.is_empty(), "state changed before the bound");
+            assert_eq!(*fab.counters(), before, "counters moved in a dead cycle");
+        }
+        let mut now = e;
+        while fab.in_flight() > 0 {
+            fab.tick(now, &mut arrivals);
+            now += 1;
+            assert!(now < 200, "packet never arrived");
+        }
+        assert_eq!(arrivals.len(), 1);
+        assert_eq!(arrivals[0].flight.stops, 4);
+    }
+
+    #[test]
     fn event_counters_charge_pipeline_passes_and_wire_spans() {
         let cfg = NocConfig::highradix_mesh(8, 8, 4);
         let mut fab = HighRadixFabric::new(cfg);

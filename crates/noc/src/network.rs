@@ -339,6 +339,15 @@ impl<P: Clone> Network<P> {
     /// state (release a queued arrival or move a packet inside the fabric),
     /// or `None` when the network is fully quiescent. Event-driven callers
     /// use this to skip dead cycles via [`Network::advance_to`].
+    ///
+    /// The bound holds under *partial occupancy*: the queued-arrival heap
+    /// front (multi-flit releases, high-radix pipeline exits) is folded with
+    /// the fabric engine's per-head probe, so a network holding blocked or
+    /// serializing packets still reports a future horizon instead of
+    /// degenerating to "busy". Already-delivered messages waiting in
+    /// ejection queues are not events — ticking never changes them — so
+    /// callers that skip must drain ejections first (debug-checked by
+    /// [`Network::advance_to`]).
     pub fn next_event(&self) -> Option<u64> {
         // An arrival with release time `t` is completed by the tick that
         // runs *during* cycle `t - 1` (tick increments the clock first), so

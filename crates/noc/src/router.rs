@@ -303,17 +303,27 @@ pub trait FabricEngine {
     /// segment destination to `arrivals`.
     fn tick(&mut self, now: u64, arrivals: &mut Vec<Arrival>);
 
-    /// Quiescence probe for event-driven simulation: the earliest cycle
+    /// Event-horizon probe for event-driven simulation: the earliest cycle
     /// `>= now` at which [`FabricEngine::tick`] *might* change fabric state,
-    /// or `None` when the fabric is empty and can never act again on its own.
+    /// or `None` when the fabric is empty and can never act again on its
+    /// own. Engines compute it per occupied (router, lane) head — the first
+    /// cycle the head is switch-eligible *and* its requested output link is
+    /// free — so the bound is meaningful under partial occupancy, not only
+    /// at full drain.
     ///
     /// The bound must be conservative from below — it may name a cycle at
     /// which nothing ends up moving (e.g. a head packet that will lose
     /// arbitration or find a downstream buffer full), but it must never skip
-    /// past a cycle at which a move, an arbiter update or any other state
-    /// change would have occurred. Ticking at a cycle where no packet can
-    /// move is a no-op by construction (arbiter pointers only advance when a
-    /// candidate wins), which is what makes cycle skipping exact.
+    /// past a cycle at which a move, an arbiter update, a counter increment
+    /// or any other state change would have occurred. Ticking at a cycle
+    /// where no candidate exists is a no-op by construction (arbiter
+    /// pointers and event counters only advance when a candidate wins),
+    /// which is what makes cycle skipping exact. This probe is
+    /// **load-bearing** for `CmpSystem`'s scheduler (via
+    /// `Network::next_event`): the root `tests/equivalence.rs` randomized
+    /// stress suite cross-checks it against naive per-cycle stepping, and
+    /// it must never mutate state (the event-energy counters inherit the
+    /// run/run_naive bit-identity from that rule).
     fn next_event(&self, now: u64) -> Option<u64>;
 
     /// Number of packets currently inside the fabric.

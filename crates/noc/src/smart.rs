@@ -483,6 +483,38 @@ mod tests {
     }
 
     #[test]
+    fn next_event_opens_a_skip_window_under_partial_occupancy() {
+        // Two 4-flit packets from the same router: the SSR winner holds the
+        // claimed links for the full packet length, so the loser's head sees
+        // a future (ready, link-free) cycle. The fabric is occupied the
+        // whole time, yet the probe must report a skippable window and every
+        // tick inside it must be a no-op (counters included).
+        let cfg = NocConfig::smart_mesh(8, 1, 4);
+        let mut fab = SmartFabric::new(cfg);
+        fab.inject(flight(1, 0, 7, 4), 0);
+        fab.inject(flight(2, 0, 7, 4), 0);
+        let mut arrivals = Vec::new();
+        fab.tick(0, &mut arrivals);
+        fab.tick(1, &mut arrivals); // winner launches its SMART-hop
+        assert_eq!(fab.in_flight(), 2, "both packets still inside the fabric");
+        let e = fab.next_event(2).expect("packets in flight");
+        assert!(e > 2, "partial occupancy must yield a future horizon, got {e}");
+        let before = *fab.counters();
+        for t in 2..e {
+            fab.tick(t, &mut arrivals);
+            assert!(arrivals.is_empty(), "state changed before the bound");
+            assert_eq!(*fab.counters(), before, "counters moved in a dead cycle");
+        }
+        let mut now = e;
+        while fab.in_flight() > 0 {
+            fab.tick(now, &mut arrivals);
+            now += 1;
+            assert!(now < 200, "packets never arrived");
+        }
+        assert_eq!(arrivals.len(), 2);
+    }
+
+    #[test]
     fn event_counters_split_bypass_and_stop_hops() {
         let cfg = NocConfig::smart_mesh(8, 8, 4);
         let mut fab = SmartFabric::new(cfg);

@@ -29,23 +29,34 @@
 //!   and rare outside saturation).
 //! * **Memory controllers** — `MemoryController::next_event` is the
 //!   earliest pending DRAM `fire_at`.
-//! * **Network** — while the NoC holds any packet (`Network::is_busy`),
-//!   events are dense and the horizon is pinned to the next cycle without
-//!   probing further; skipping is only attempted once the network has fully
-//!   drained, at which point `Network::next_event` — the queued-arrival
-//!   heap combined with each fabric engine's quiescence probe
-//!   (`FabricEngine::next_event`) — is trivially `None`. The probes exist
-//!   for event-driven callers of the `Network` API directly (they are
-//!   unit-tested per engine); if the busy-network guard is ever relaxed,
-//!   they become load-bearing here and must be covered by the equivalence
-//!   suite. They are conservative from below: they may name a cycle where
-//!   arbitration then denies every move — such a step changes no state —
-//!   but they never skip past a live event.
+//! * **Network** — `Network::next_event` names the earliest cycle at which
+//!   a network tick can change state *even under partial occupancy*: it
+//!   folds the front of the queued-arrival heap (multi-flit releases,
+//!   high-radix pipeline exits) with the fabric engine's per-head probe
+//!   (`FabricEngine::next_event`), which scans every occupied (router,
+//!   lane) head for the first cycle it is both switch-eligible
+//!   (`ready_at`) and sees its requested output link free. The probes are
+//!   conservative from below: they may name a cycle at which arbitration
+//!   or downstream occupancy then denies every move — such a tick changes
+//!   no state, because arbiter pointers and event counters only move when
+//!   a candidate exists — but they never skip past a live event. This is
+//!   the **per-component horizon contract**: skipping engages whenever
+//!   *all* components agree on a future horizon, not only at global NoC
+//!   drain (the pre-PR-5 behaviour), so barrier-phased and DRAM-bound
+//!   workloads with stragglers in flight still fast-forward.
+//!
+//! The horizon fold itself short-circuits: any source whose event is due
+//! *now* ends the probe immediately, so compute-dense phases pay one bitset
+//! scan and congested phases stop at the first now-eligible head.
 //!
 //! Anyone adding new time-dependent state to the system must either expose
-//! its next event in [`CmpSystem`]'s horizon computation or force per-cycle
-//! stepping while that state is active, otherwise `run` silently diverges
-//! from `run_naive` (and the equivalence suite fails).
+//! its next event in [`CmpSystem`]'s horizon computation (and keep that
+//! probe free of state mutation — counters may only move in
+//! `inject`/`tick`/handlers) or force per-cycle stepping while that state
+//! is active, otherwise `run` silently diverges from `run_naive`. The root
+//! `tests/equivalence.rs` suite — including its seeded randomized stress
+//! runs over hundreds of short configurations — is the oracle for every
+//! probe in this chain.
 
 use crate::config::SystemConfig;
 use crate::core::{CoreModel, CoreStatus};
@@ -128,6 +139,10 @@ pub struct CmpSystem {
     /// steps_executed()` is how many dead cycles the event-driven scheduler
     /// skipped).
     steps_executed: u64,
+    /// Cycles skipped while the NoC still held in-flight packets — skips the
+    /// pre-PR-5 drain-only probe could never take. Event-driven mode only;
+    /// deliberately not part of [`SimResults`] (naive runs never skip).
+    skipped_while_busy: u64,
     // Persistent per-step scratch buffers: the step loop is the simulator's
     // hottest path and must not allocate in steady state.
     outgoing_scratch: Vec<Outgoing>,
@@ -242,6 +257,7 @@ impl CmpSystem {
             now: 0,
             seq: 0,
             steps_executed: 0,
+            skipped_while_busy: 0,
             outgoing_scratch: Vec::new(),
             inject_scratch: Vec::new(),
             delivery_scratch: Vec::new(),
@@ -277,6 +293,15 @@ impl CmpSystem {
     /// skipped.
     pub fn steps_executed(&self) -> u64 {
         self.steps_executed
+    }
+
+    /// Cycles the event-driven scheduler skipped while the NoC still held
+    /// in-flight packets. The pre-PR-5 probe only skipped once the network
+    /// had fully drained, so any non-zero value here is progress only the
+    /// fine-grained per-component horizon can make (the equivalence suite
+    /// asserts this stays non-zero on stall-heavy workloads).
+    pub fn skipped_while_busy(&self) -> u64 {
+        self.skipped_while_busy
     }
 
     /// Whether every core has finished its trace.
@@ -459,6 +484,15 @@ impl CmpSystem {
         self.now += 1;
     }
 
+    /// Most in-flight packets the fabric may hold before the horizon stops
+    /// probing it and pins to per-cycle stepping (see `next_step_cycle`).
+    /// Stall-phase stragglers — the case the fine-grained horizon exists
+    /// for — are a handful of packets; saturated phases hold tens to
+    /// hundreds, and there a per-head probe costs more than the 1–2-cycle
+    /// windows it could find. The cut-off only trades performance, never
+    /// exactness.
+    const BUSY_PROBE_LIMIT: usize = 8;
+
     /// Earliest cycle `>= self.now` at which [`CmpSystem::step`] can make
     /// progress, or `None` when no component will ever act again on its own
     /// (every remaining naive step would be a no-op).
@@ -479,35 +513,56 @@ impl CmpSystem {
         if !self.retry.is_empty() {
             return Some(self.now);
         }
-        // With traffic in the NoC, events are dense (a packet moves or gets
-        // re-arbitrated nearly every cycle): probing the fabric for a skip
-        // window costs more than the skip saves, so step cycle by cycle and
-        // only hunt for a horizon once the network has fully drained. This
-        // is purely conservative — skipping less can never change results.
-        if self.network.is_busy() {
-            return Some(self.now);
-        }
-        // Events can be timestamped at or before `self.now` (e.g. a message
-        // scheduled with zero delay during the dispatch phase of the step
-        // that just ran): the naive loop would act on those on the very next
-        // cycle, so they clamp to "step immediately".
-        let mut next: Option<u64> = None;
-        let mut fold = |candidate: u64| {
-            let candidate = candidate.max(self.now);
-            next = Some(next.map_or(candidate, |n: u64| n.min(candidate)));
-        };
+        // Fold the timed event sources, cheapest probe first. Events can be
+        // timestamped at or before `self.now` (e.g. a message scheduled with
+        // zero delay during the dispatch phase of the step that just ran):
+        // the naive loop would act on those on the very next cycle, so they
+        // clamp to "step immediately" — and since `self.now` is the lowest
+        // any candidate can fold to, a due-now source short-circuits the
+        // remaining probes (in particular the per-head fabric scan, which is
+        // the most expensive one and runs last).
+        let now = self.now;
+        let mut next = u64::MAX;
         if let Some(Reverse(p)) = self.pending.peek() {
-            fold(p.ready);
+            if p.ready <= now {
+                return Some(now);
+            }
+            next = next.min(p.ready);
         }
-        for node in &self.mem_nodes {
-            if let Some(t) = self.mems[node].next_event() {
-                fold(t);
+        // Map iteration order is irrelevant here: the fold is a pure min.
+        for mem in self.mems.values() {
+            if let Some(t) = mem.next_event() {
+                if t <= now {
+                    return Some(now);
+                }
+                next = next.min(t);
             }
         }
-        if let Some(t) = self.network.next_event() {
-            fold(t);
+        // The network probe covers partial occupancy: the queued-arrival
+        // heap front and every buffered head's (ready, link-free) cycle.
+        // Before PR 5 this was pinned to `now` whenever any packet was in
+        // flight; the per-component horizon lets barrier and DRAM stalls
+        // with stragglers in the fabric skip too. The probe costs one scan
+        // over the occupied lanes, so it is only consulted while the fabric
+        // holds few packets — the straggler regime where multi-cycle skip
+        // windows actually exist. Under dense traffic events arrive nearly
+        // every cycle and the scan would out-cost the skips, so the horizon
+        // pins to "step now" exactly as the old drain-only probe did
+        // (purely conservative: skipping less never changes results).
+        if self.network.in_flight() > Self::BUSY_PROBE_LIMIT {
+            return Some(now);
         }
-        next
+        if let Some(t) = self.network.next_event() {
+            if t <= now {
+                return Some(now);
+            }
+            next = next.min(t);
+        }
+        if next == u64::MAX {
+            None
+        } else {
+            Some(next)
+        }
     }
 
     /// Runs until every core finishes or `max_cycles` elapse, and returns
@@ -528,6 +583,9 @@ impl CmpSystem {
             // budget, exactly where the naive no-op loop would end up.
             let target = self.next_step_cycle().unwrap_or(max_cycles).min(max_cycles);
             if target > self.now {
+                if self.network.in_flight() > 0 {
+                    self.skipped_while_busy += target - self.now;
+                }
                 self.network.advance_to(target);
                 self.now = target;
             }

@@ -255,6 +255,77 @@ impl Benchmark {
     }
 }
 
+/// Stall-heavy stress workloads (not part of the paper's benchmark suite):
+/// shapes chosen so that the simulated system spends most of its time in
+/// *globally quiet* phases — every core stalled, stragglers in the NoC —
+/// punctuated by bursts. These are the phases where the paper's single-cycle
+/// multi-hop NoC matters most, and the ones the event-driven scheduler's
+/// fine-grained skip horizon exists for (they are its benchmark *and* its
+/// regression trap: see `tests/equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum StressKind {
+    /// Tight global barrier phases: a short burst of chip-wide shared
+    /// traffic, then every core parks at a barrier until the slowest
+    /// straggler's miss drains. Run with barriers enabled (full-system
+    /// replay mode).
+    BarrierPhased,
+    /// DRAM-bound: a working set far beyond the caches with almost no
+    /// temporal reuse — nearly every access is an exposed off-chip stall,
+    /// and the paired campaign scenario stretches the DRAM latency further.
+    DramBound,
+}
+
+impl StressKind {
+    /// Every stress kind, in declaration order.
+    pub const ALL: [StressKind; 2] = [StressKind::BarrierPhased, StressKind::DramBound];
+
+    /// Display name (figure x-labels, scenario labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            StressKind::BarrierPhased => "barrier_phased",
+            StressKind::DramBound => "dram_bound",
+        }
+    }
+
+    /// Whether this workload only makes sense with barrier modelling on.
+    pub fn full_system(self) -> bool {
+        matches!(self, StressKind::BarrierPhased)
+    }
+
+    /// The behavioural model of this stress workload. The underlying
+    /// [`Benchmark`] identity only labels the spec; every parameter is
+    /// overridden here.
+    pub fn spec(self) -> BenchmarkSpec {
+        match self {
+            // A barrier every 8 memory ops over a small, hot, chip-wide
+            // shared set: long park-and-wait phases with a handful of
+            // coherence messages (the straggler's fill) still in flight.
+            StressKind::BarrierPhased => BenchmarkSpec::new(Benchmark::Fft)
+                .private_lines(64)
+                .shared_lines(128)
+                .shared_fraction(0.6)
+                .write_fraction(0.4)
+                .pattern(SharingPattern::Global)
+                .reuse(0.2)
+                .compute_per_mem(1)
+                .barrier_interval(8),
+            // A streaming scan through a working set that dwarfs the caches:
+            // every few instructions the core stalls for a full DRAM round
+            // trip, so run time is almost entirely exposed memory latency.
+            StressKind::DramBound => BenchmarkSpec::new(Benchmark::Radix)
+                .private_lines(65_536)
+                .shared_lines(8_192)
+                .shared_fraction(0.2)
+                .write_fraction(0.3)
+                .pattern(SharingPattern::Neighbor)
+                .reuse(0.05)
+                .compute_per_mem(1)
+                .barrier_interval(100_000),
+        }
+    }
+}
+
 /// The behavioural model of one benchmark, consumed by
 /// [`crate::trace::TraceGenerator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -442,6 +513,29 @@ mod tests {
     #[should_panic(expected = "shared_fraction")]
     fn builder_validates_fractions() {
         BenchmarkSpec::new(Benchmark::Lu).shared_fraction(1.5);
+    }
+
+    #[test]
+    fn stress_workloads_are_stall_shaped() {
+        for kind in StressKind::ALL {
+            let s = kind.spec();
+            assert!(s.compute_per_mem <= 1, "{kind:?} must be memory-dominated");
+            assert!(!kind.name().is_empty());
+        }
+        let barrier = StressKind::BarrierPhased.spec();
+        assert!(
+            barrier.barrier_interval <= 16,
+            "barrier phases must be tight (got {})",
+            barrier.barrier_interval
+        );
+        assert!(StressKind::BarrierPhased.full_system());
+        let dram = StressKind::DramBound.spec();
+        assert!(
+            dram.footprint_lines() > 16 * 2048,
+            "DRAM-bound working set must dwarf the caches"
+        );
+        assert!(dram.reuse < 0.1, "DRAM-bound traffic must not cache well");
+        assert!(!StressKind::DramBound.full_system());
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod benchmarks;
 pub mod multiprogram;
 pub mod trace;
 
-pub use benchmarks::{Benchmark, BenchmarkSpec, SharingPattern};
+pub use benchmarks::{Benchmark, BenchmarkSpec, SharingPattern, StressKind};
 pub use multiprogram::{MultiProgramWorkload, TaskAssignment};
 pub use trace::{CoreTrace, TraceGenerator, TraceOp};

@@ -1,0 +1,59 @@
+//! Cross-PR A/B driver for the event-driven scheduler on its target
+//! workloads: times `CmpSystem::run` on the two stall-heavy stress
+//! configurations (barrier-phased, DRAM-bound — the Figure-19 scenarios)
+//! and prints an FNV fingerprint of the results, so two binaries from
+//! different PRs can be timed back-to-back on the same machine *and*
+//! checked for bit-identical simulations (the PR-4 clock-drift protocol:
+//! never compare wall-clocks across sessions, re-measure the old binary).
+//!
+//! ```sh
+//! cargo run --release --example stall_ab
+//! ```
+//!
+//! For binaries predating `StressKind` (PR 4 and earlier), build the same
+//! configurations by hand from the spec constants in
+//! `loco_workloads::StressKind::spec` and the overrides in
+//! `loco::campaign::stall_stress_system` — the fingerprints must match.
+
+use loco::campaign::stall_stress_system;
+use loco::{ExperimentParams, RouterKind, StressKind};
+use std::time::Instant;
+
+fn main() {
+    let params = ExperimentParams::quick().with_mem_ops(2_000);
+    for kind in StressKind::ALL {
+        let mut times = Vec::new();
+        let mut fingerprint = String::new();
+        let mut diag = String::new();
+        for _ in 0..5 {
+            let mut sys = stall_stress_system(&params, kind, RouterKind::Smart);
+            let start = Instant::now();
+            let r = sys.run(50_000_000);
+            times.push(start.elapsed().as_secs_f64() * 1e3);
+            let this = format!("{r:?}");
+            assert!(
+                fingerprint.is_empty() || fingerprint == this,
+                "{}: nondeterministic results within one binary",
+                kind.name()
+            );
+            fingerprint = this;
+            diag = format!(
+                "steps {} cycles {} busy-skipped {}",
+                sys.steps_executed(),
+                sys.cycle(),
+                sys.skipped_while_busy()
+            );
+        }
+        println!("  {diag}");
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let h = fingerprint.bytes().fold(0xcbf29ce484222325u64, |a, b| {
+            (a ^ b as u64).wrapping_mul(0x100000001b3)
+        });
+        println!(
+            "{}: median {:.1}ms (runs {:?}) results-fnv {h:#018x}",
+            kind.name(),
+            times[times.len() / 2],
+            times.iter().map(|t| format!("{t:.1}")).collect::<Vec<_>>()
+        );
+    }
+}

@@ -21,6 +21,10 @@ cargo build --workspace --all-targets --offline
 echo "==> equivalence suite (event-driven == naive stepping, bit for bit)"
 cargo test -q --offline --test equivalence
 
+echo "==> randomized equivalence stress suite (pinned seed, 250 short random configs)"
+LOCO_STRESS_SEED=538510120 LOCO_STRESS_CONFIGS=250 \
+    cargo test -q --offline --test equivalence randomized_short_configs
+
 echo "==> energy suite (golden breakdown fingerprint, run/run_naive and thread invariance)"
 cargo test -q --offline --test energy
 
@@ -39,6 +43,19 @@ cmp target/energy_t1.json target/energy_t4.json
 ./target/release/reproduce --list-figures > target/figures.txt
 grep -q "^fig17" target/figures.txt || { echo "fig17 missing from --list-figures"; exit 1; }
 grep -q "^fig18" target/figures.txt || { echo "fig18 missing from --list-figures"; exit 1; }
+grep -q "^fig19" target/figures.txt || { echo "fig19 missing from --list-figures"; exit 1; }
+
+echo "==> stall-heavy figure smoke (fig19 stress scenarios, 1-vs-2-thread byte identity)"
+./target/release/reproduce --params quick --figures fig19 --threads 2 --json target/stall_t2.json > target/stall_t2.txt 2>/dev/null
+./target/release/reproduce --params quick --figures fig19 --threads 1 --json target/stall_t1.json > target/stall_t1.txt 2>/dev/null
+cmp target/stall_t1.txt target/stall_t2.txt
+cmp target/stall_t1.json target/stall_t2.json
+
+echo "==> CLI rejects senseless --threads values"
+if ./target/release/reproduce --params quick --threads 1000000 >/dev/null 2>target/threads_err.txt; then
+    echo "reproduce accepted --threads 1000000"; exit 1
+fi
+grep -q "makes no sense" target/threads_err.txt || { echo "missing --threads error message"; exit 1; }
 
 echo "==> bench smoke (--quick campaign, timings to target/)"
 sh scripts/bench.sh --quick --samples 1 --out target/BENCH_smoke.json

@@ -116,6 +116,55 @@ fn runner_cache_is_reusable_as_a_campaign_result_set() {
 }
 
 #[test]
+fn senseless_thread_counts_are_rejected_with_a_clear_error() {
+    // The `reproduce` CLI funnels `--threads` through `Executor::try_new`:
+    // values that parse but make no sense (huge counts that would spawn
+    // thousands of idle workers) must error loudly instead of degrading.
+    use loco::campaign::{Executor as E, MAX_EXPLICIT_THREADS};
+    assert_eq!(E::try_new(4).unwrap().threads(), 4);
+    assert!(E::try_new(0).is_ok(), "0 = all cores is documented and valid");
+    assert!(E::try_new(MAX_EXPLICIT_THREADS).is_ok());
+    let err = E::try_new(1_000_000).unwrap_err();
+    assert!(err.contains("1000000"), "error must name the value: {err}");
+    assert!(
+        err.contains(&MAX_EXPLICIT_THREADS.to_string()),
+        "error must name the accepted range: {err}"
+    );
+}
+
+#[test]
+fn stall_stress_scenarios_ride_the_campaign_like_any_other() {
+    // Figure 19's stress scenarios are ordinary plan/execute/assemble
+    // citizens: deduplicated, thread-count-invariant, and composable with
+    // the paper figures.
+    let params = quick();
+    let mut plan = CampaignPlan::new();
+    plan.add_figure(&FigureSpec::Fig19Stall, &params);
+    assert_eq!(plan.len(), 6, "2 stress kinds x 3 routers");
+    plan.add_figure(&FigureSpec::Fig19Stall, &params);
+    assert_eq!(plan.len(), 6, "re-adding must deduplicate");
+    let serial = Executor::new(1).execute(&params, &plan);
+    let parallel = Executor::new(4).execute(&params, &plan);
+    for s in plan.scenarios() {
+        assert_eq!(
+            format!("{:?}", serial.expect(s)),
+            format!("{:?}", parallel.expect(s)),
+            "scenario {} diverged across worker counts",
+            s.label()
+        );
+        assert!(s.label().starts_with("stress-"), "{}", s.label());
+    }
+    let figs = FigureSpec::Fig19Stall.assemble(&params, &serial);
+    assert_eq!(
+        figs,
+        FigureSpec::Fig19Stall.assemble(&params, &parallel),
+        "assembled stress figure diverged across worker counts"
+    );
+    assert_eq!(figs.len(), 1);
+    assert_eq!(figs[0].series.len(), 3, "one series per router");
+}
+
+#[test]
 fn executor_handles_plans_smaller_than_the_worker_count() {
     let params = quick();
     let mut plan = CampaignPlan::new();
